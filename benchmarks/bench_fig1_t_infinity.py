@@ -1,0 +1,22 @@
+"""E1 (Figure 1): the chase of ``T∞`` from ``DI`` in statu nascendi."""
+
+import pytest
+
+from repro.separating import chase_t_infinity, longest_alpha_beta_path_length
+
+DEPTHS = (4, 8, 16, 32)
+
+
+@pytest.mark.experiment("E1")
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_figure1_chase_growth(benchmark, depth, report_lines):
+    chase = benchmark(chase_t_infinity, depth)
+    graph = chase.graph()
+    report_lines(
+        f"[E1/Fig.1] depth={depth:3d}  edges={graph.edge_count():4d}  "
+        f"vertices={len(graph.vertices()):4d}  "
+        f"longest αβ-path vertices={longest_alpha_beta_path_length(depth):3d}  "
+        f"1-2 pattern={graph.contains_one_two_pattern()}"
+    )
+    assert not graph.contains_one_two_pattern()
+    assert graph.edge_count() == 1 + 2 * depth

@@ -1,0 +1,23 @@
+"""E2: the word language of ``chase(T∞, DI)`` (Definition 16 example)."""
+
+import pytest
+
+from repro.greengraph import word_string
+from repro.separating import expected_words, observed_words
+
+DEPTHS = (4, 8, 16)
+
+
+@pytest.mark.experiment("E2")
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_figure1_word_language(benchmark, depth, report_lines):
+    observed = benchmark(observed_words, depth, 4 * depth + 6)
+    expected = expected_words(depth)
+    sample = sorted(word_string(w) for w in observed)[:4]
+    report_lines(
+        f"[E2/words] depth={depth:3d}  words observed={len(observed):3d}  "
+        f"all of the form α(β1β0)^k η1 | α(β1β0)^k β1 η0: {observed <= expected}  "
+        f"sample={sample}"
+    )
+    assert observed
+    assert observed <= expected

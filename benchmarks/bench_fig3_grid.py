@@ -1,0 +1,23 @@
+"""E3 (Figures 2–3): the grid built on two merged αβ-paths of different lengths."""
+
+import pytest
+
+from repro.separating import build_grid_on_merged_paths
+
+PAIRS = ((3, 2), (4, 2), (4, 3))
+
+
+@pytest.mark.experiment("E3")
+@pytest.mark.parametrize("lengths", PAIRS, ids=[f"{a}-{b}" for a, b in PAIRS])
+def test_grid_on_merged_paths(benchmark, lengths, report_lines):
+    long_length, short_length = lengths
+    report = benchmark(
+        build_grid_on_merged_paths, long_length, short_length, max_stages=20
+    )
+    report_lines(
+        f"[E3/Fig.3] paths=({long_length},{short_length})  "
+        f"1-2 pattern stage={report.pattern_stage}  "
+        f"foam edges={report.foam_edges:4d}  skeleton edges={report.skeleton_edges:3d}  "
+        f"1-labelled={report.one_edges}  2-labelled={report.two_edges}"
+    )
+    assert report.has_pattern

@@ -1,0 +1,19 @@
+"""E4 (Figure 4): the harmless grids M_t built over a single (un-merged) path."""
+
+import pytest
+
+from repro.separating import build_grid_on_single_path
+
+DEPTHS = (5, 7, 9)
+
+
+@pytest.mark.experiment("E4")
+@pytest.mark.parametrize("depth", DEPTHS)
+def test_single_path_grids_are_pattern_free(benchmark, depth, report_lines):
+    report = benchmark(build_grid_on_single_path, depth, max_stages=18)
+    report_lines(
+        f"[E4/Fig.4] chase depth={depth:2d}  foam edges={report.foam_edges:4d}  "
+        f"1-labelled={report.one_edges:3d}  2-labelled={report.two_edges:3d}  "
+        f"1-2 pattern={report.has_pattern}"
+    )
+    assert not report.has_pattern

@@ -1,0 +1,46 @@
+"""E6 (Lemma 12): Compile / Precompile preserve "leads to the red spider"."""
+
+import pytest
+
+from repro.greengraph import EMPTY, GreenGraphRuleSet, and_rule, even, initial_graph, odd
+from repro.greengraph.precompile import precompile
+from repro.separating import t_infinity_rules
+from repro.swarm import initial_swarm
+
+
+def _pattern_rule_set() -> GreenGraphRuleSet:
+    return GreenGraphRuleSet(
+        [
+            and_rule(EMPTY, EMPTY, even("u"), odd("v"), name="make-uv"),
+            and_rule(even("u"), odd("v"), odd("1"), even("2"), name="make-12"),
+        ],
+        name="leads",
+    )
+
+
+CASES = {
+    "leads": (_pattern_rule_set, True),
+    "T-infinity": (t_infinity_rules, False),
+}
+
+
+def _both_level_outcomes(rules: GreenGraphRuleSet):
+    level2 = rules.chase(initial_graph(), max_stages=5, max_atoms=20_000)
+    level1 = precompile(rules).chase(initial_swarm(), max_stages=8, max_atoms=25_000)
+    return (
+        level2.first_stage_with_one_two_pattern() is not None,
+        level1.first_stage_with_red_spider() is not None,
+    )
+
+
+@pytest.mark.experiment("E6")
+@pytest.mark.parametrize("case", sorted(CASES))
+def test_lemma12_levels_agree(benchmark, case, report_lines):
+    factory, expected = CASES[case]
+    level2_leads, level1_leads = benchmark(_both_level_outcomes, factory())
+    report_lines(
+        f"[E6/Lemma12] rule set={case:11s}  Level-2 produces 1-2 pattern: {level2_leads}  "
+        f"Level-1 (Precompile) produces red spider: {level1_leads}  "
+        f"agree: {level2_leads == level1_leads}  expected leading: {expected}"
+    )
+    assert level2_leads == level1_leads == expected

@@ -1,0 +1,29 @@
+"""E10 (Lemma 25): reachable configurations appear as words of chase(T_M, DI)."""
+
+import pytest
+
+from repro.greengraph import initial_graph, words
+from repro.rainworm import forever_creeping_machine, machine_rules, run, word_names
+
+STEP_COUNTS = (4, 6, 8)
+
+
+def _lemma25_coverage(steps: int):
+    machine = forever_creeping_machine()
+    rules = machine_rules(machine)
+    chase = rules.chase(initial_graph(), max_stages=steps + 2, max_atoms=30_000)
+    observed = words(chase.graph(), max_length=4 * steps + 10)
+    trace = run(machine, steps).trace
+    found = sum(1 for c in trace if word_names(c) in observed)
+    return found, len(trace), len(observed)
+
+
+@pytest.mark.experiment("E10")
+@pytest.mark.parametrize("steps", STEP_COUNTS)
+def test_lemma25_configurations_are_chase_words(benchmark, steps, report_lines):
+    found, total, words_seen = benchmark(_lemma25_coverage, steps)
+    report_lines(
+        f"[E10/Lemma25] machine steps={steps:2d}  configurations found as chase words: "
+        f"{found}/{total}  (chase words observed: {words_seen})"
+    )
+    assert found == total

@@ -1,0 +1,26 @@
+"""E8 (Observation 6): daltonised chases collapse homomorphically onto the input."""
+
+import pytest
+
+from repro.core.builders import parse_cq, structure_from_text
+from repro.greenred import green_structure, verify_observation6
+
+WORKLOADS = {
+    "path": ("R(1,2), R(2,3), R(3,4)", ["v(x) :- R(x,y)", "w(x,z) :- R(x,y), R(y,z)"]),
+    "cycle": ("R(1,2), R(2,3), R(3,1)", ["v(x) :- R(x,y), R(y,z)"]),
+    "two-relations": (
+        "R(1,2), S(2,3), R(3,4)",
+        ["v(x) :- R(x,y), S(y,z)", "w(x) :- S(x,y)"],
+    ),
+}
+
+
+@pytest.mark.experiment("E8")
+@pytest.mark.parametrize("name", sorted(WORKLOADS))
+def test_observation6(benchmark, name, report_lines):
+    facts, view_texts = WORKLOADS[name]
+    views = [parse_cq(text) for text in view_texts]
+    start = green_structure(structure_from_text(facts))
+    holds = benchmark(verify_observation6, views, start, 5)
+    report_lines(f"[E8/Obs.6] workload={name:14s} homomorphism onto dalt(D) exists: {holds}")
+    assert holds

@@ -1,0 +1,33 @@
+"""E9 (Section VIII.A): rainworm creeping — trail growth and halting behaviour."""
+
+import pytest
+
+from repro.rainworm import (
+    anatomy,
+    forever_creeping_machine,
+    halting_after_two_cycles_machine,
+    immediately_halting_machine,
+    run,
+)
+
+MACHINES = {
+    "forever": (forever_creeping_machine, False),
+    "halt-after-two-cycles": (halting_after_two_cycles_machine, True),
+    "halt-immediately": (immediately_halting_machine, True),
+}
+
+STEPS = 200
+
+
+@pytest.mark.experiment("E9")
+@pytest.mark.parametrize("name", sorted(MACHINES))
+def test_rainworm_creep(benchmark, name, report_lines):
+    factory, should_halt = MACHINES[name]
+    machine = factory()
+    result = benchmark(run, machine, STEPS)
+    trail = anatomy(result.final).trail_length if result.trace else 0
+    report_lines(
+        f"[E9/creep] machine={name:22s} halted={result.halted!s:5s} "
+        f"steps={result.steps:4d} final slime-trail length={trail:3d}"
+    )
+    assert result.halted is should_halt

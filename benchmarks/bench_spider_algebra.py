@@ -1,0 +1,45 @@
+"""E7 (♣): the Rule of Spider Algebra, exhaustively over the universe."""
+
+import pytest
+
+from repro.spiders import (
+    SpiderUniverse,
+    application_table,
+    apply_query,
+    applies_to,
+    spider_query,
+)
+
+SIZES = (4, 8, 16)
+
+
+def _exhaustive_club(size: int) -> int:
+    universe = SpiderUniverse(tuple(f"l{i}" for i in range(size)))
+    spiders = universe.all_spiders()
+    legs = list(universe.legs)
+    checked = 0
+    for upper in [None, legs[0]]:
+        for lower in [None, legs[1 % len(legs)]]:
+            query = spider_query(upper, lower)
+            for spider in spiders:
+                if not applies_to(query, spider):
+                    continue
+                produced = apply_query(query, spider)
+                assert produced.color is spider.color.opposite()
+                assert apply_query(query, produced) == spider
+                checked += 1
+    return checked
+
+
+@pytest.mark.experiment("E7")
+@pytest.mark.parametrize("size", SIZES)
+def test_spider_algebra_table(benchmark, size, report_lines):
+    checked = benchmark(_exhaustive_club, size)
+    universe = SpiderUniverse(tuple(f"l{i}" for i in range(size)))
+    table = application_table(spider_query(universe.legs[0], universe.legs[1]), universe)
+    report_lines(
+        f"[E7/♣] s={size:3d}  ideal spiders={len(universe.all_spiders()):4d}  "
+        f"♣ applications checked={checked:4d}  sample: "
+        f"{table[0][0]} ↦ {table[0][1]}"
+    )
+    assert checked > 0

@@ -1,0 +1,28 @@
+"""E14 (Theorem 2): Dy / Dn and the EF-indistinguishability of their views."""
+
+import pytest
+
+from repro.fo import run_theorem2_experiment
+
+SIZES = (2, 3)
+
+
+@pytest.mark.experiment("E14")
+@pytest.mark.parametrize("i", SIZES)
+def test_theorem2_views_pair(benchmark, i, report_lines):
+    report = benchmark.pedantic(
+        run_theorem2_experiment,
+        kwargs={"i": i, "copies": 1, "max_rounds": 1},
+        iterations=1,
+        rounds=1,
+    )
+    image_dy, image_dn = report.pair.view_images()
+    report_lines(
+        f"[E14/Thm2] i={i}  |Dy|={len(report.pair.dy.atoms()):4d} atoms  "
+        f"|Dn|={len(report.pair.dn.atoms()):4d} atoms  "
+        f"Q0(Dy)={report.q0_on_dy}  Q0(Dn)={report.q0_on_dn}  "
+        f"|Q(Dy)|={len(image_dy.atoms()):4d}  |Q(Dn)|={len(image_dn.atoms()):4d}  "
+        f"EF rounds survived={report.views_indistinguishable_up_to()}"
+    )
+    assert report.q0_separates
+    assert report.consistent_with_theorem

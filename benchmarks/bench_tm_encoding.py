@@ -1,0 +1,37 @@
+"""E13 (Lemma 21): the Turing-machine → rainworm compiler."""
+
+import pytest
+
+from repro.rainworm import (
+    bounded_counter_machine,
+    busy_little_machine,
+    encoding_statistics,
+    forever_walking_machine,
+    rainworm_from_turing,
+    run,
+    tm_halts_within,
+)
+
+MACHINES = {
+    "count-2": (lambda: bounded_counter_machine(2), 3_000),
+    "busy-little": (busy_little_machine, 8_000),
+    "forever-walk": (forever_walking_machine, 1_200),
+}
+
+
+@pytest.mark.experiment("E13")
+@pytest.mark.parametrize("name", sorted(MACHINES))
+def test_tm_to_rainworm_encoding(benchmark, name, report_lines):
+    factory, bound = MACHINES[name]
+    turing = factory()
+    rainworm = rainworm_from_turing(turing)
+
+    result = benchmark(run, rainworm, bound)
+    tm_halts = tm_halts_within(turing, 500)
+    stats = encoding_statistics(turing)
+    report_lines(
+        f"[E13/Lemma21] TM={name:13s} TM halts={tm_halts!s:5s}  "
+        f"rainworm halts={result.halted!s:5s} (after {result.steps:5d} steps)  "
+        f"|∆|={stats['rainworm_instructions']:5d} instructions"
+    )
+    assert result.halted is tm_halts

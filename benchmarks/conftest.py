@@ -1,0 +1,28 @@
+"""Shared configuration for the benchmark harnesses.
+
+Every benchmark module regenerates one of the paper's constructions (see
+DESIGN.md §4 and EXPERIMENTS.md).  Each benchmark both *times* the
+construction (via pytest-benchmark) and *prints* the rows/series the paper
+reports, so running ``pytest benchmarks/ --benchmark-only -s`` doubles as the
+reproduction log.
+"""
+
+import pytest
+
+
+def pytest_configure(config):
+    config.addinivalue_line(
+        "markers", "experiment(id): links a benchmark to its DESIGN.md experiment id"
+    )
+
+
+@pytest.fixture
+def report_lines(capsys):
+    """Return a helper that prints experiment rows even under pytest capture."""
+
+    def _report(*lines):
+        with capsys.disabled():
+            for line in lines:
+                print(line)
+
+    return _report

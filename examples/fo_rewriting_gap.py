@@ -1,0 +1,42 @@
+"""Theorem 2: finite determinacy without FO-rewritability (Section IX).
+
+Builds the structures ``Dy`` and ``Dn``, shows that the target query ``Q0``
+tells them apart while the released views (empirically, up to the checked
+Ehrenfeucht–Fraïssé rank) cannot.
+
+Run with ``python examples/fo_rewriting_gap.py``.
+"""
+
+from repro.fo import run_theorem2_experiment
+
+
+def main() -> None:
+    report = run_theorem2_experiment(i=3, copies=2, max_rounds=1)
+    image_dy, image_dn = report.pair.view_images()
+    print("Theorem 2 experiment (size parameter i = 3, one EF round):")
+    print(
+        f"  Dy: {len(report.pair.dy.atoms())} atoms   "
+        f"Dn: {len(report.pair.dn.atoms())} atoms"
+    )
+    print(
+        f"  Q0(Dy) = {report.q0_on_dy}   Q0(Dn) = {report.q0_on_dn}   "
+        f"(Q0 must be answered differently on the two databases)"
+    )
+    print(
+        f"  view images: |Q(Dy)| = {len(image_dy.atoms())} answers, "
+        f"|Q(Dn)| = {len(image_dn.atoms())} answers"
+    )
+    print(
+        "  Duplicator survives the checked EF rounds on the view images: "
+        f"{report.ef_rounds_checked}"
+    )
+    print(
+        "\nAny FO-rewriting of Q0 in terms of the views would have to "
+        "distinguish Q(Dy) from Q(Dn); the paper's EF argument (scaled up in "
+        "i and l) shows no FO formula can — even though the views *finitely "
+        "determine* Q0 (Theorem 2)."
+    )
+
+
+if __name__ == "__main__":
+    main()

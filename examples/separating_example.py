@@ -1,0 +1,68 @@
+"""The separating example of Section VII (Theorem 14), end to end.
+
+Builds the rule set ``T = T∞ ∪ T□``, regenerates Figures 1, 3 and 4, gathers
+the bounded evidence for Theorem 14 and materialises the conjunctive-query
+instance ``(Q, Q0)`` that is finitely determined but not determined.
+
+Run with ``python examples/separating_example.py``.
+"""
+
+from repro.greengraph import word_string
+from repro.separating import (
+    build_grid_on_merged_paths,
+    build_grid_on_single_path,
+    gather_theorem14_evidence,
+    observed_words,
+    separating_instance,
+    separating_rules,
+)
+
+
+def main() -> None:
+    rules = separating_rules()
+    print(f"T = T∞ ∪ T□ has {len(rules)} green graph rewriting rules.")
+
+    # Figure 1: the infinite chase skeleton and its word language.
+    words = sorted(word_string(w) for w in observed_words(8))
+    print("\nFigure 1 — words of chase(T∞, DI) (depth 8 prefix):")
+    for word in words:
+        print("  ", word)
+
+    # Figure 3: two merged αβ-paths of different lengths force a 1-2 pattern.
+    merged = build_grid_on_merged_paths(4, 2, max_stages=18)
+    print(
+        "\nFigure 3 — merged paths (4 vs 2): grid of "
+        f"{merged.foam_edges} foam edges, 1-2 pattern at chase stage "
+        f"{merged.pattern_stage}."
+    )
+
+    # Figure 4: a single path only grows harmless grids.
+    single = build_grid_on_single_path(7, max_stages=18)
+    print(
+        "Figure 4 — single path: grid of "
+        f"{single.foam_edges} foam edges, 1-2 pattern present: {single.has_pattern}."
+    )
+
+    # Theorem 14: bounded evidence for both halves.
+    evidence = gather_theorem14_evidence(prefix_stages=7, merged_lengths=((3, 2),))
+    print(
+        "\nTheorem 14 evidence — does not lead to the red spider "
+        f"(chase prefix pattern-free): {evidence.unrestricted_half_holds}; "
+        "finitely leads to the red spider (folded models patterned): "
+        f"{evidence.finite_half_holds}."
+    )
+
+    # The conjunctive-query instance behind it all.
+    instance = separating_instance()
+    print(
+        f"\nThe CQ instance: |Q| = {instance.view_count()} views over "
+        f"{instance.universe.size} spider legs "
+        f"({instance.total_view_atoms()} body atoms in total); "
+        f"Q0 has {len(instance.query.atoms)} atoms.\n"
+        "Q finitely determines Q0 but does not determine it — the first "
+        "known example separating the two notions."
+    )
+
+
+if __name__ == "__main__":
+    main()

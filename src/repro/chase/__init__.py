@@ -1,0 +1,64 @@
+"""Tuple generating dependencies and the lazy chase (Section II.B–C)."""
+
+from .chase import (
+    ChaseBudgetExceeded,
+    ChaseEngine,
+    ChaseResult,
+    chase,
+    chase_fixpoint,
+    chase_i,
+    chase_stages,
+    iterate_chase,
+)
+from .provenance import ChaseProvenance, ChaseStep
+from .termination import (
+    BoundedRunReport,
+    DependencyGraph,
+    bounded_run_report,
+    build_dependency_graph,
+    is_weakly_acyclic,
+    terminates_within,
+)
+from .tgd import TGD, TGDError, parse_tgds, rename_tgd_predicates, standardise_apart
+from .trigger import (
+    Trigger,
+    all_active_triggers,
+    all_satisfied,
+    find_triggers,
+    fire_trigger,
+    head_satisfied,
+    is_satisfied,
+    violated_tgds,
+)
+
+__all__ = [
+    "BoundedRunReport",
+    "ChaseBudgetExceeded",
+    "ChaseEngine",
+    "ChaseProvenance",
+    "ChaseResult",
+    "ChaseStep",
+    "DependencyGraph",
+    "TGD",
+    "TGDError",
+    "Trigger",
+    "all_active_triggers",
+    "all_satisfied",
+    "bounded_run_report",
+    "build_dependency_graph",
+    "chase",
+    "chase_fixpoint",
+    "chase_i",
+    "chase_stages",
+    "find_triggers",
+    "fire_trigger",
+    "head_satisfied",
+    "is_satisfied",
+    "is_weakly_acyclic",
+    "iterate_chase",
+    "parse_tgds",
+    "rename_tgd_predicates",
+    "standardise_apart",
+    "terminates_within",
+    "violated_tgds",
+]

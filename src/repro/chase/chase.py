@@ -1,0 +1,229 @@
+"""The lazy (standard) chase, with stages and provenance.
+
+Section II.C of the paper defines the chase stage by stage:
+
+    chase_0(T, D) = D
+    chase_{i+1}(T, D): for all pairs (T, b̄) with T ∈ T and b̄ a tuple of
+        elements of chase_i(T, D): if conditions (¬) and (­) hold in the
+        current D for b̄ and T, then D := D(T, b̄)
+    chase(T, D) = ⋃_i chase_i(T, D)
+
+The chase here is "lazy": new atoms and elements are only produced when the
+head is not already satisfied.  We keep exactly this stage discipline (body
+matches are found in the structure as it was at the start of the stage, head
+satisfaction is re-checked against the current, growing structure) because
+several constructions in the paper — Figure 1, the late chase of Section IX,
+the counter-model procedure of Section VIII.E — depend on the stage numbers.
+
+``chase`` as a whole may of course be infinite; callers always supply a bound
+(number of stages and/or number of atoms), and the result records whether a
+fixpoint was reached within the bound.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+from ..core.atoms import Atom
+from ..core.structure import Structure
+from ..core.terms import FreshNullFactory
+from .provenance import ChaseProvenance, ChaseStep
+from .tgd import TGD
+from .trigger import Trigger, find_triggers, fire_trigger, head_satisfied
+
+
+class ChaseBudgetExceeded(RuntimeError):
+    """Raised when a chase run exceeds its atom budget (when asked to raise)."""
+
+
+@dataclass
+class ChaseResult:
+    """Outcome of a (bounded) chase run."""
+
+    structure: Structure
+    reached_fixpoint: bool
+    stages_run: int
+    stage_snapshots: List[Structure] = field(default_factory=list)
+    provenance: ChaseProvenance = field(default_factory=ChaseProvenance)
+
+    # ------------------------------------------------------------------
+    @property
+    def terminated(self) -> bool:
+        """Alias for :attr:`reached_fixpoint` (the chase terminated on its own)."""
+        return self.reached_fixpoint
+
+    def stage(self, index: int) -> Structure:
+        """The snapshot ``chase_index(T, D)`` (stage 0 is the input)."""
+        return self.stage_snapshots[index]
+
+    def final(self) -> Structure:
+        """The last computed stage."""
+        return self.structure
+
+    def atoms_added(self) -> int:
+        """Total number of atoms added over the whole run."""
+        return len(self.structure.atoms()) - len(self.stage_snapshots[0].atoms())
+
+    def new_atoms_at_stage(self, index: int) -> frozenset:
+        """Atoms of ``chase_index`` that are not in ``chase_{index-1}``."""
+        if index == 0:
+            return self.stage_snapshots[0].atoms()
+        return self.stage_snapshots[index].atoms() - self.stage_snapshots[index - 1].atoms()
+
+
+@dataclass
+class ChaseEngine:
+    """A configurable chase runner.
+
+    Parameters
+    ----------
+    tgds:
+        The dependency set ``T``.
+    max_stages:
+        Upper bound on the number of stages to run (``None`` = unbounded;
+        use only with terminating dependency sets).
+    max_atoms:
+        Safety budget on the total number of atoms; the run stops (or raises,
+        see ``raise_on_budget``) when exceeded.
+    keep_snapshots:
+        Whether to keep a copy of every stage (needed by the late-chase and
+        Figure-1 style constructions; turn off for large benchmark runs).
+    """
+
+    tgds: Sequence[TGD]
+    max_stages: Optional[int] = None
+    max_atoms: Optional[int] = None
+    keep_snapshots: bool = True
+    raise_on_budget: bool = False
+
+    # ------------------------------------------------------------------
+    def run(self, instance: Structure) -> ChaseResult:
+        """Run the chase from *instance* (which is not modified)."""
+        current = instance.copy(name=f"chase({instance.name})" if instance.name else "chase")
+        null_factory = FreshNullFactory()
+        provenance = ChaseProvenance()
+        snapshots: List[Structure] = [current.copy(name="chase_0")] if self.keep_snapshots else [instance.copy(name="chase_0")]
+        stage = 0
+        reached_fixpoint = False
+        while self.max_stages is None or stage < self.max_stages:
+            stage += 1
+            fired = self._run_stage(current, null_factory, provenance, stage)
+            if self.keep_snapshots:
+                snapshots.append(current.copy(name=f"chase_{stage}"))
+            if not fired:
+                reached_fixpoint = True
+                stage -= 1  # the last stage added nothing: not counted
+                if self.keep_snapshots:
+                    snapshots.pop()
+                break
+            if self.max_atoms is not None and len(current.atoms()) > self.max_atoms:
+                if self.raise_on_budget:
+                    raise ChaseBudgetExceeded(
+                        f"chase exceeded the atom budget of {self.max_atoms}"
+                    )
+                break
+        return ChaseResult(
+            structure=current,
+            reached_fixpoint=reached_fixpoint,
+            stages_run=stage,
+            stage_snapshots=snapshots,
+            provenance=provenance,
+        )
+
+    # ------------------------------------------------------------------
+    def _run_stage(
+        self,
+        current: Structure,
+        null_factory: FreshNullFactory,
+        provenance: ChaseProvenance,
+        stage: int,
+    ) -> bool:
+        """Run one stage; return ``True`` when at least one trigger fired."""
+        frozen_start = current.copy()
+        fired_any = False
+        for tgd in self.tgds:
+            # Body matches are looked for in the structure as it was at the
+            # start of the stage (the paper's "b̄ ranges over elements of
+            # chase_i"), head satisfaction is re-checked in the growing D.
+            for trigger in find_triggers(
+                tgd, frozen_start, active_only=False, satisfaction_structure=current
+            ):
+                if head_satisfied(tgd, current, trigger.frontier_assignment):
+                    continue
+                before_elements = current.domain()
+                new_atoms, fresh = fire_trigger(trigger, current, null_factory)
+                if not new_atoms:
+                    continue
+                fired_any = True
+                new_elements = tuple(
+                    element
+                    for element in current.domain() - before_elements
+                )
+                provenance.record(
+                    ChaseStep(
+                        stage=stage,
+                        trigger=trigger,
+                        new_atoms=tuple(new_atoms),
+                        new_elements=new_elements,
+                    )
+                )
+        return fired_any
+
+
+# ----------------------------------------------------------------------
+# Functional interface
+# ----------------------------------------------------------------------
+def chase(
+    tgds: Sequence[TGD],
+    instance: Structure,
+    max_stages: Optional[int] = None,
+    max_atoms: Optional[int] = None,
+    keep_snapshots: bool = True,
+) -> ChaseResult:
+    """Run the lazy chase of *instance* under *tgds* with the given bounds."""
+    engine = ChaseEngine(
+        tgds=list(tgds),
+        max_stages=max_stages,
+        max_atoms=max_atoms,
+        keep_snapshots=keep_snapshots,
+    )
+    return engine.run(instance)
+
+
+def chase_i(tgds: Sequence[TGD], instance: Structure, stages: int) -> Structure:
+    """The structure ``chase_stages(T, D)`` — exactly *stages* chase stages."""
+    result = chase(tgds, instance, max_stages=stages)
+    return result.final()
+
+
+def chase_stages(
+    tgds: Sequence[TGD], instance: Structure, stages: int
+) -> List[Structure]:
+    """The list ``[chase_0, chase_1, …, chase_stages]`` (shorter if a fixpoint hits)."""
+    result = chase(tgds, instance, max_stages=stages)
+    return result.stage_snapshots
+
+
+def chase_fixpoint(
+    tgds: Sequence[TGD],
+    instance: Structure,
+    max_stages: int = 1000,
+    max_atoms: Optional[int] = None,
+) -> ChaseResult:
+    """Chase until a fixpoint, failing loudly when the bound is hit first."""
+    result = chase(tgds, instance, max_stages=max_stages, max_atoms=max_atoms)
+    if not result.reached_fixpoint:
+        raise ChaseBudgetExceeded(
+            f"no fixpoint within {max_stages} stages / {max_atoms} atoms"
+        )
+    return result
+
+
+def iterate_chase(
+    tgds: Sequence[TGD], instance: Structure, max_stages: int
+) -> Iterator[Structure]:
+    """Yield chase stages one by one (stage 0 first), up to *max_stages*."""
+    engine = ChaseEngine(tgds=list(tgds), max_stages=max_stages)
+    result = engine.run(instance)
+    yield from result.stage_snapshots

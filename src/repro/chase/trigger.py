@@ -1,0 +1,147 @@
+"""Triggers: matches of TGD bodies in a structure.
+
+The paper (Section II.B) describes a TGD ``T = Φ(x̄, ȳ) ⇒ ∃z̄ Ψ(z̄, ȳ)`` as a
+procedure: find a tuple ``b̄`` such that
+
+* (¬)  ``D |= ∃x̄ Φ(x̄, b̄)`` via a homomorphism ``h``, but
+* (­)  ``D ⊭ ∃z̄ Ψ(z̄, b̄)``;
+
+then output ``D(T, b̄)``, the union of ``D`` with a fresh copy of ``A[Ψ]``
+whose frontier variables are identified with ``h(ȳ)``.
+
+A :class:`Trigger` packages a TGD together with such a homomorphism.  A
+trigger is *active* when condition (­) holds, i.e. the head is not yet
+satisfied at the frontier image — this is what makes the chase "lazy"
+(standard/restricted chase in modern terminology).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterator, List, Mapping, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.homomorphism import all_homomorphisms, find_homomorphism
+from ..core.structure import Structure
+from ..core.terms import FreshNullFactory, LabeledNull
+from .tgd import TGD
+
+
+@dataclass(frozen=True)
+class Trigger:
+    """A match of a TGD body in a structure.
+
+    ``assignment`` maps every body variable (and constant) to an element of
+    the structure; ``frontier_image`` is its restriction to the frontier,
+    which is all that matters for head satisfaction and for firing.
+    """
+
+    tgd: TGD
+    frontier_image: Tuple[Tuple[object, object], ...]
+
+    @property
+    def frontier_assignment(self) -> Dict[object, object]:
+        """The frontier binding as a dictionary."""
+        return dict(self.frontier_image)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        binding = ", ".join(f"{k}={v}" for k, v in self.frontier_image)
+        return f"<Trigger {self.tgd.name}: {binding}>"
+
+
+def _frontier_key(tgd: TGD, assignment: Mapping[object, object]) -> Tuple[Tuple[object, object], ...]:
+    frontier = sorted(tgd.frontier(), key=lambda v: v.name)
+    return tuple((var, assignment[var]) for var in frontier)
+
+
+def head_satisfied(
+    tgd: TGD, structure: Structure, frontier_assignment: Mapping[object, object]
+) -> bool:
+    """Condition (­) negated: is ``∃z̄ Ψ(z̄, b̄)`` already true in *structure*?"""
+    return (
+        find_homomorphism(list(tgd.head), structure, fix=dict(frontier_assignment))
+        is not None
+    )
+
+
+def find_triggers(
+    tgd: TGD,
+    structure: Structure,
+    active_only: bool = True,
+    satisfaction_structure: Optional[Structure] = None,
+) -> Iterator[Trigger]:
+    """Yield the (active) triggers of *tgd* in *structure*.
+
+    ``satisfaction_structure`` lets the caller check head satisfaction
+    against a different (typically larger, evolving) structure than the one
+    the body is matched in; this mirrors the paper's chase procedure, where
+    body matches range over ``chase_i`` while conditions are re-checked in
+    the current, growing ``D``.
+    """
+    target_for_heads = satisfaction_structure or structure
+    seen: set = set()
+    for assignment in all_homomorphisms(list(tgd.body), structure):
+        key = _frontier_key(tgd, assignment)
+        if key in seen:
+            continue
+        seen.add(key)
+        if active_only and head_satisfied(tgd, target_for_heads, dict(key)):
+            continue
+        yield Trigger(tgd, key)
+
+
+def fire_trigger(
+    trigger: Trigger,
+    structure: Structure,
+    null_factory: FreshNullFactory,
+) -> Tuple[List[Atom], Dict[object, LabeledNull]]:
+    """Apply a trigger to *structure* in place.
+
+    Returns the list of atoms that were genuinely new and the mapping of the
+    TGD's existential variables to the fresh nulls created for them.  (The
+    atoms are added to *structure* as a side effect, exactly like the paper's
+    ``D := D(T, b̄)`` step.)
+    """
+    tgd = trigger.tgd
+    assignment: Dict[object, object] = dict(trigger.frontier_image)
+    fresh: Dict[object, LabeledNull] = {}
+    for variable in sorted(tgd.existential_variables(), key=lambda v: v.name):
+        null = null_factory.fresh(hint=variable.name)
+        fresh[variable] = null
+        assignment[variable] = null
+    new_atoms: List[Atom] = []
+    for atom in tgd.head:
+        ground = atom.substitute(assignment)
+        if structure.add_atom(ground):
+            new_atoms.append(ground)
+    return new_atoms, fresh
+
+
+def all_active_triggers(
+    tgds: List[TGD],
+    structure: Structure,
+    satisfaction_structure: Optional[Structure] = None,
+) -> Iterator[Trigger]:
+    """Yield the active triggers of every TGD in *tgds*."""
+    for tgd in tgds:
+        yield from find_triggers(
+            tgd,
+            structure,
+            active_only=True,
+            satisfaction_structure=satisfaction_structure,
+        )
+
+
+def is_satisfied(tgd: TGD, structure: Structure) -> bool:
+    """``D |= T``: every body match has a matching head witness."""
+    return next(find_triggers(tgd, structure, active_only=True), None) is None
+
+
+def all_satisfied(tgds: List[TGD], structure: Structure) -> bool:
+    """``D |= T`` for a set of TGDs."""
+    return all(is_satisfied(tgd, structure) for tgd in tgds)
+
+
+def violated_tgds(tgds: List[TGD], structure: Structure) -> List[TGD]:
+    """The subset of *tgds* that have at least one active trigger."""
+    return [tgd for tgd in tgds if not is_satisfied(tgd, structure)]

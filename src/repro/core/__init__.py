@@ -1,0 +1,86 @@
+"""Core relational substrate: terms, atoms, structures, homomorphisms, CQs.
+
+This package provides the standard finite-model-theory / database-theory
+objects the paper relies on (Section II): relational structures, conjunctive
+queries, canonical structures, homomorphisms and views.
+"""
+
+from .atoms import Atom, atoms_elements, substitute_atoms
+from .builders import (
+    ParseError,
+    chain_query,
+    facts,
+    make_queries,
+    parse_atom,
+    parse_cq,
+    parse_facts,
+    structure_from_text,
+)
+from .containment import are_equivalent, containment_witness, is_contained_in
+from .homomorphism import (
+    HomomorphismProblem,
+    all_homomorphisms,
+    are_isomorphic,
+    find_homomorphism,
+    find_isomorphism,
+    has_homomorphism,
+    is_embedding,
+    is_homomorphism,
+)
+from .query import ConjunctiveQuery, QueryError
+from .signature import Predicate, Signature, SignatureError
+from .structure import Structure, disjoint_union_all
+from .terms import (
+    Constant,
+    FreshNullFactory,
+    FreshVariableFactory,
+    LabeledNull,
+    Variable,
+    constants_in,
+    is_rigid,
+    variables_in,
+)
+from .views import ViewSet, counterexample_pair, determines
+
+__all__ = [
+    "Atom",
+    "ConjunctiveQuery",
+    "Constant",
+    "FreshNullFactory",
+    "FreshVariableFactory",
+    "HomomorphismProblem",
+    "LabeledNull",
+    "ParseError",
+    "Predicate",
+    "QueryError",
+    "Signature",
+    "SignatureError",
+    "Structure",
+    "Variable",
+    "ViewSet",
+    "all_homomorphisms",
+    "are_equivalent",
+    "are_isomorphic",
+    "atoms_elements",
+    "chain_query",
+    "constants_in",
+    "containment_witness",
+    "counterexample_pair",
+    "determines",
+    "disjoint_union_all",
+    "facts",
+    "find_homomorphism",
+    "find_isomorphism",
+    "has_homomorphism",
+    "is_contained_in",
+    "is_embedding",
+    "is_homomorphism",
+    "is_rigid",
+    "make_queries",
+    "parse_atom",
+    "parse_cq",
+    "parse_facts",
+    "structure_from_text",
+    "substitute_atoms",
+    "variables_in",
+]

@@ -1,0 +1,83 @@
+"""Relational atoms.
+
+An :class:`Atom` is a predicate name applied to a tuple of arguments.  The
+same class is used both for *ground* atoms (facts of a structure, whose
+arguments are domain elements) and for *query* atoms (whose arguments are
+variables and constants); the distinction is carried by the arguments, not by
+the class.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Iterable, Mapping, Tuple
+
+from .terms import Constant, Variable
+
+
+@dataclass(frozen=True)
+class Atom:
+    """A positive relational atom ``predicate(args...)``."""
+
+    predicate: str
+    args: Tuple[object, ...]
+
+    def __init__(self, predicate: str, args: Iterable[object]) -> None:
+        object.__setattr__(self, "predicate", predicate)
+        object.__setattr__(self, "args", tuple(args))
+
+    @property
+    def arity(self) -> int:
+        """Number of arguments."""
+        return len(self.args)
+
+    def substitute(self, mapping: Mapping[object, object]) -> "Atom":
+        """Return the atom with every argument replaced through *mapping*.
+
+        Arguments missing from *mapping* are kept unchanged, which makes the
+        method usable both for full valuations and for partial substitutions.
+        """
+        return Atom(self.predicate, tuple(mapping.get(a, a) for a in self.args))
+
+    def rename_predicate(self, renaming: Callable[[str], str]) -> "Atom":
+        """Return the atom with its predicate name passed through *renaming*."""
+        return Atom(renaming(self.predicate), self.args)
+
+    def variables(self) -> Tuple[Variable, ...]:
+        """The distinct variables among the arguments, in order of appearance."""
+        seen: list[Variable] = []
+        for arg in self.args:
+            if isinstance(arg, Variable) and arg not in seen:
+                seen.append(arg)
+        return tuple(seen)
+
+    def constants(self) -> Tuple[Constant, ...]:
+        """The distinct constants among the arguments, in order of appearance."""
+        seen: list[Constant] = []
+        for arg in self.args:
+            if isinstance(arg, Constant) and arg not in seen:
+                seen.append(arg)
+        return tuple(seen)
+
+    def is_ground(self) -> bool:
+        """True when no argument is a :class:`Variable`."""
+        return not any(isinstance(arg, Variable) for arg in self.args)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        inner = ", ".join(str(a) for a in self.args)
+        return f"{self.predicate}({inner})"
+
+
+def atoms_elements(atoms: Iterable[Atom]) -> set:
+    """Return the set of all arguments occurring in *atoms*."""
+    elements: set = set()
+    for atom in atoms:
+        elements.update(atom.args)
+    return elements
+
+
+def substitute_atoms(
+    atoms: Iterable[Atom], mapping: Mapping[object, object]
+) -> list[Atom]:
+    """Apply :meth:`Atom.substitute` to every atom in *atoms*."""
+    return [atom.substitute(mapping) for atom in atoms]

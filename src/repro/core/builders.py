@@ -1,0 +1,141 @@
+"""Small textual builders for atoms, structures and conjunctive queries.
+
+These helpers keep tests, examples and benchmarks readable.  The grammar is a
+minimal Datalog-ish notation:
+
+* an *atom* is ``R(t1, …, tn)``;
+* a *term* is a variable (any bare identifier) or a constant written with a
+  leading ``#`` (for example ``#a``);
+* a *query* is ``name(x, y) :- R(x, z), S(z, #a)``; the head lists the free
+  variables, the body lists the atoms;
+* a *structure* is built from ground facts, one per line or separated by
+  commas, whose terms are all constants-like labels (plain identifiers are
+  treated as opaque domain elements, ``#c`` as signature constants).
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Iterable, List, Sequence, Tuple
+
+from .atoms import Atom
+from .query import ConjunctiveQuery
+from .structure import Structure
+from .terms import Constant, Variable
+
+_ATOM_RE = re.compile(r"\s*([A-Za-z_][\w'<>|,¯\-]*)\s*\(([^()]*)\)\s*")
+
+
+class ParseError(ValueError):
+    """Raised when a textual atom/query/structure cannot be parsed."""
+
+
+def _parse_term(token: str, as_query_term: bool) -> object:
+    token = token.strip()
+    if not token:
+        raise ParseError("empty term")
+    if token.startswith("#"):
+        return Constant(token[1:])
+    if as_query_term:
+        return Variable(token)
+    return token
+
+
+def parse_atom(text: str, as_query_atom: bool = True) -> Atom:
+    """Parse a single atom such as ``R(x, #a)``.
+
+    With ``as_query_atom=True`` bare identifiers become variables; otherwise
+    they are kept as plain string domain elements (useful for facts).
+    """
+    match = _ATOM_RE.fullmatch(text)
+    if not match:
+        raise ParseError(f"cannot parse atom: {text!r}")
+    predicate, args_text = match.groups()
+    args_text = args_text.strip()
+    args: List[object] = []
+    if args_text:
+        for token in args_text.split(","):
+            args.append(_parse_term(token, as_query_atom))
+    return Atom(predicate, args)
+
+
+def _split_atoms(text: str) -> List[str]:
+    """Split a comma-separated conjunction, respecting parentheses."""
+    parts: List[str] = []
+    depth = 0
+    current = []
+    for char in text:
+        if char == "(":
+            depth += 1
+        elif char == ")":
+            depth -= 1
+        if char == "," and depth == 0:
+            parts.append("".join(current))
+            current = []
+        else:
+            current.append(char)
+    tail = "".join(current).strip()
+    if tail:
+        parts.append(tail)
+    return [part.strip() for part in parts if part.strip()]
+
+
+def parse_cq(text: str) -> ConjunctiveQuery:
+    """Parse a conjunctive query written as ``name(x, y) :- R(x, z), S(z, y)``."""
+    if ":-" not in text:
+        raise ParseError("a query needs a ':-' separating head and body")
+    head_text, body_text = text.split(":-", 1)
+    head = parse_atom(head_text.strip(), as_query_atom=True)
+    free = []
+    for arg in head.args:
+        if not isinstance(arg, Variable):
+            raise ParseError("head arguments must be variables")
+        free.append(arg)
+    atoms = [parse_atom(part, as_query_atom=True) for part in _split_atoms(body_text)]
+    return ConjunctiveQuery(head.predicate, free, atoms)
+
+
+def parse_facts(text: str) -> List[Atom]:
+    """Parse ground facts separated by commas and/or newlines."""
+    pieces: List[str] = []
+    for line in text.splitlines():
+        line = line.strip()
+        if not line or line.startswith("%"):
+            continue
+        pieces.extend(_split_atoms(line))
+    return [parse_atom(piece, as_query_atom=False) for piece in pieces]
+
+
+def structure_from_text(text: str, name: str = "") -> Structure:
+    """Build a structure from a textual list of ground facts."""
+    return Structure(parse_facts(text), name=name)
+
+
+def facts(*specs: Tuple[str, Sequence[object]]) -> List[Atom]:
+    """Build ground atoms from ``(predicate, args)`` tuples."""
+    return [Atom(predicate, args) for predicate, args in specs]
+
+
+def make_queries(*texts: str) -> List[ConjunctiveQuery]:
+    """Parse several queries at once."""
+    return [parse_cq(text) for text in texts]
+
+
+def chain_query(
+    name: str, predicate: str, length: int, closed: bool = False
+) -> ConjunctiveQuery:
+    """A path-shaped query ``name(x0, xn) :- R(x0,x1), …, R(x(n-1),xn)``.
+
+    Handy for synthetic workloads in the chase-scaling benchmarks; with
+    ``closed=True`` the two endpoints are identified, producing a cycle query.
+    """
+    if length < 1:
+        raise ParseError("chain length must be >= 1")
+    variables = [Variable(f"x{i}") for i in range(length + 1)]
+    if closed:
+        variables[-1] = variables[0]
+    atoms = [
+        Atom(predicate, (variables[i], variables[i + 1])) for i in range(length)
+    ]
+    free: Iterable[Variable] = () if closed else (variables[0], variables[-1])
+    return ConjunctiveQuery(name, tuple(dict.fromkeys(free)), atoms)

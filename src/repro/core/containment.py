@@ -1,0 +1,46 @@
+"""Conjunctive query containment and equivalence.
+
+The classical Chandra–Merlin characterisation: ``Q1 ⊆ Q2`` (every answer of
+``Q1`` is an answer of ``Q2`` over every instance) holds if and only if there
+is a homomorphism from the canonical structure of ``Q2`` into the canonical
+structure of ``Q1`` mapping free variables to the corresponding free
+variables.  The paper relies on this folklore both implicitly (the chase as a
+universal structure, [JK82]) and in the determinacy reformulations.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from .homomorphism import find_homomorphism
+from .query import ConjunctiveQuery, QueryError
+
+
+def containment_witness(
+    contained: ConjunctiveQuery, container: ConjunctiveQuery
+) -> Optional[dict]:
+    """A homomorphism witnessing ``contained ⊆ container``, or ``None``.
+
+    The witness maps the body of *container* into the canonical structure of
+    *contained*, sending the i-th free variable of *container* to the i-th
+    free variable of *contained*.
+    """
+    if contained.arity != container.arity:
+        raise QueryError(
+            "containment is only defined between queries of equal arity"
+        )
+    fix = dict(zip(container.free_variables, contained.free_variables))
+    canonical = contained.canonical_structure()
+    return find_homomorphism(list(container.atoms), canonical, fix=fix)
+
+
+def is_contained_in(
+    contained: ConjunctiveQuery, container: ConjunctiveQuery
+) -> bool:
+    """``contained ⊆ container`` in the Chandra–Merlin sense."""
+    return containment_witness(contained, container) is not None
+
+
+def are_equivalent(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+    """True when the two queries are semantically equivalent."""
+    return is_contained_in(first, second) and is_contained_in(second, first)

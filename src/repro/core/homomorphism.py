@@ -1,0 +1,283 @@
+"""Homomorphism search between relational structures.
+
+A homomorphism ``h : D1 → D`` maps elements of ``D1`` to elements of ``D``
+such that every atom of ``D1`` is mapped to an atom of ``D`` (Section II.A).
+Constants are rigid: they must be mapped to themselves.
+
+This module is the computational workhorse of the whole library: conjunctive
+query evaluation, TGD trigger detection, CQ containment, the chase, and the
+compile/decompile operations all reduce to homomorphism search.
+
+The search is a straightforward backtracking over the atoms of the source,
+with two optimisations that matter in practice:
+
+* the target structure is indexed per predicate, and candidate atoms are
+  filtered against the already-bound arguments;
+* source atoms are ordered greedily so that atoms sharing variables with
+  already-processed atoms come first (a "most constrained first" ordering).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Sequence
+
+from .atoms import Atom
+from .structure import Structure
+from .terms import is_rigid
+
+
+Assignment = Dict[object, object]
+
+
+class HomomorphismProblem:
+    """A reusable homomorphism search problem ``source atoms → target structure``."""
+
+    def __init__(
+        self,
+        source_atoms: Sequence[Atom],
+        target: Structure,
+        fix: Optional[Mapping[object, object]] = None,
+        frozen: Iterable[object] = (),
+    ) -> None:
+        self.source_atoms = list(source_atoms)
+        self.target = target
+        self.fix: Assignment = dict(fix or {})
+        # Frozen elements must be mapped to themselves (in addition to the
+        # constants, which are always frozen).
+        self.frozen = set(frozen)
+        # Per-problem candidate index: one tuple of target atoms per source
+        # predicate.  Building it once avoids re-materialising frozensets at
+        # every node of the backtracking search, which dominates the cost on
+        # the large spider-query bodies of the reduction.
+        self._candidates: Dict[str, tuple] = {}
+        for atom in self.source_atoms:
+            if atom.predicate not in self._candidates:
+                self._candidates[atom.predicate] = tuple(
+                    target.atoms_with_predicate(atom.predicate)
+                )
+
+    def _candidate_atoms(self, predicate: str) -> tuple:
+        return self._candidates.get(predicate, ())
+
+    # ------------------------------------------------------------------
+    def _initial_assignment(self) -> Optional[Assignment]:
+        assignment: Assignment = {}
+        for element, image in self.fix.items():
+            assignment[element] = image
+        for atom in self.source_atoms:
+            for arg in atom.args:
+                if is_rigid(arg) or arg in self.frozen:
+                    if arg in assignment and assignment[arg] != arg:
+                        return None
+                    assignment[arg] = arg
+        # Rigid images must exist in the target domain.
+        target_domain = self.target.domain()
+        for element, image in assignment.items():
+            if image not in target_domain and self.source_atoms:
+                # Allow images outside the domain only if they never occur in
+                # a source atom (pure bookkeeping entries in ``fix``).
+                if any(element in atom.args for atom in self.source_atoms):
+                    return None
+        return assignment
+
+    def _ordered_atoms(self, assignment: Assignment) -> List[Atom]:
+        """Order source atoms so that highly-constrained atoms come first.
+
+        The greedy order minimises, at every step, the number of *new*
+        (unbound, non-rigid) variables an atom introduces, preferring atoms
+        connected to already-bound non-rigid variables.  This keeps the
+        backtracking search join-connected: without the connectivity
+        preference, constant-anchored atoms (such as the spider calves, which
+        all touch the shared calf-end constant) would be enumerated first and
+        blow the search up into a cross-product of unconstrained choices.
+        """
+        remaining = list(self.source_atoms)
+        ordered: List[Atom] = []
+        bound = set(assignment)
+        while remaining:
+            def score(atom: Atom) -> tuple:
+                distinct = set(atom.args)
+                new_vars = sum(
+                    1 for a in distinct if a not in bound and not is_rigid(a)
+                )
+                connected = sum(
+                    1 for a in distinct if a in bound and not is_rigid(a)
+                )
+                candidates = len(self._candidate_atoms(atom.predicate))
+                return (new_vars, -connected, candidates)
+
+            best = min(remaining, key=score)
+            remaining.remove(best)
+            ordered.append(best)
+            bound.update(best.args)
+        return ordered
+
+    def solutions(self, limit: Optional[int] = None) -> Iterator[Assignment]:
+        """Yield homomorphisms (as dicts); stop after *limit* if given."""
+        assignment = self._initial_assignment()
+        if assignment is None:
+            return
+        ordered = self._ordered_atoms(assignment)
+        produced = 0
+        for solution in self._search(ordered, 0, dict(assignment)):
+            yield dict(solution)
+            produced += 1
+            if limit is not None and produced >= limit:
+                return
+
+    def _search(
+        self, atoms: List[Atom], index: int, assignment: Assignment
+    ) -> Iterator[Assignment]:
+        if index == len(atoms):
+            yield assignment
+            return
+        atom = atoms[index]
+        for target_atom in self._candidate_atoms(atom.predicate):
+            extension = _match_atom(atom, target_atom, assignment)
+            if extension is None:
+                continue
+            yield from self._search(atoms, index + 1, extension)
+
+
+def _match_atom(
+    source_atom: Atom, target_atom: Atom, assignment: Assignment
+) -> Optional[Assignment]:
+    """Try to extend *assignment* so that *source_atom* maps onto *target_atom*."""
+    if len(source_atom.args) != len(target_atom.args):
+        return None
+    extension = dict(assignment)
+    for src, dst in zip(source_atom.args, target_atom.args):
+        if src in extension:
+            if extension[src] != dst:
+                return None
+        else:
+            extension[src] = dst
+    return extension
+
+
+# ----------------------------------------------------------------------
+# Functional convenience layer
+# ----------------------------------------------------------------------
+def find_homomorphism(
+    source: Structure | Sequence[Atom],
+    target: Structure,
+    fix: Optional[Mapping[object, object]] = None,
+) -> Optional[Assignment]:
+    """Return one homomorphism from *source* into *target*, or ``None``.
+
+    *source* may be a :class:`Structure` or a plain sequence of atoms whose
+    arguments play the role of source elements.  ``fix`` pre-binds selected
+    source elements to target elements (used for evaluating queries at a
+    specific tuple, and for trigger detection).
+    """
+    atoms = list(source.atoms()) if isinstance(source, Structure) else list(source)
+    problem = HomomorphismProblem(atoms, target, fix=fix)
+    for solution in problem.solutions(limit=1):
+        if isinstance(source, Structure):
+            _complete_isolated(source, target, solution)
+            if solution is None:
+                continue
+        return solution
+    # A structure with no atoms still needs its isolated elements mapped.
+    if isinstance(source, Structure) and not atoms:
+        solution = dict(fix or {})
+        _complete_isolated(source, target, solution)
+        return solution
+    if not isinstance(source, Structure) and not atoms:
+        return dict(fix or {})
+    return None
+
+
+def _complete_isolated(
+    source: Structure, target: Structure, solution: Optional[Assignment]
+) -> None:
+    """Map isolated source elements to an arbitrary target element (in place)."""
+    if solution is None:
+        return
+    target_domain = target.domain()
+    default = next(iter(target_domain), None)
+    for element in source.domain():
+        if element in solution:
+            continue
+        if is_rigid(element):
+            solution[element] = element
+        elif default is not None:
+            solution[element] = default
+
+
+def all_homomorphisms(
+    source: Structure | Sequence[Atom],
+    target: Structure,
+    fix: Optional[Mapping[object, object]] = None,
+    limit: Optional[int] = None,
+) -> Iterator[Assignment]:
+    """Yield all homomorphisms from *source* into *target* (possibly limited)."""
+    atoms = list(source.atoms()) if isinstance(source, Structure) else list(source)
+    problem = HomomorphismProblem(atoms, target, fix=fix)
+    yield from problem.solutions(limit=limit)
+
+
+def has_homomorphism(
+    source: Structure | Sequence[Atom],
+    target: Structure,
+    fix: Optional[Mapping[object, object]] = None,
+) -> bool:
+    """True when at least one homomorphism exists."""
+    return find_homomorphism(source, target, fix=fix) is not None
+
+
+def is_embedding(assignment: Mapping[object, object]) -> bool:
+    """True when the assignment is injective."""
+    values = list(assignment.values())
+    return len(values) == len(set(values))
+
+
+def find_isomorphism(
+    first: Structure, second: Structure
+) -> Optional[Assignment]:
+    """Return an isomorphism between the two structures, or ``None``.
+
+    Isomorphism here means a bijective homomorphism whose inverse is also a
+    homomorphism; it is computed by searching for an injective homomorphism
+    with matching atom counts in both directions.  Intended for the small
+    structures (spiders, grids, configurations) this library manipulates.
+    """
+    if len(first.atoms()) != len(second.atoms()):
+        return None
+    if len(first.domain()) != len(second.domain()):
+        return None
+    per_predicate_first = {p: len(first.atoms_with_predicate(p)) for p in first.predicates()}
+    per_predicate_second = {p: len(second.atoms_with_predicate(p)) for p in second.predicates()}
+    if per_predicate_first != per_predicate_second:
+        return None
+    for assignment in all_homomorphisms(first, second):
+        full = dict(assignment)
+        _complete_isolated(first, second, full)
+        if not is_embedding(full):
+            continue
+        if len(set(full.values())) != len(second.domain()):
+            continue
+        image = first.rename_elements(full)
+        if image.atoms() == second.atoms():
+            return full
+    return None
+
+
+def are_isomorphic(first: Structure, second: Structure) -> bool:
+    """True when the two structures are isomorphic."""
+    return find_isomorphism(first, second) is not None
+
+
+def is_homomorphism(
+    assignment: Mapping[object, object], source: Structure, target: Structure
+) -> bool:
+    """Check explicitly that *assignment* is a homomorphism ``source → target``."""
+    for element in source.domain():
+        if element not in assignment:
+            return False
+        if is_rigid(element) and assignment[element] != element:
+            return False
+    for atom in source.atoms():
+        if atom.substitute(assignment) not in target.atoms():
+            return False
+    return True

@@ -1,0 +1,220 @@
+"""Conjunctive queries.
+
+A conjunctive query (CQ, Section II.A of the paper) is a conjunction of
+atomic formulas over a signature, whose arguments are variables or constants,
+preceded by existential quantifiers binding some of the variables.  The
+variables that remain unbound are the *free* variables of the query.
+
+Two notions from the paper are first-class here:
+
+* the *canonical structure* ``A[Ψ]`` of the quantifier-free part -- the
+  structure whose elements are the variables and constants of ``Ψ`` and whose
+  atoms are the atoms of ``Ψ``;
+* query evaluation ``Q(D) = {ā : D |= Q(ā)}``, defined through homomorphisms
+  from the canonical structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
+
+from .atoms import Atom
+from .homomorphism import all_homomorphisms, find_homomorphism
+from .signature import Signature
+from .structure import Structure
+from .terms import Constant, Variable
+
+
+class QueryError(ValueError):
+    """Raised for malformed conjunctive queries."""
+
+
+@dataclass(frozen=True)
+class ConjunctiveQuery:
+    """A conjunctive query ``Q(x̄) = ∃ȳ Ψ(x̄, ȳ)``.
+
+    Attributes
+    ----------
+    name:
+        A label for the query; it doubles as the view-relation name when the
+        query is used as a view (see :mod:`repro.core.views`).
+    free_variables:
+        The tuple ``x̄`` of free (answer) variables, in answer order.
+    atoms:
+        The atoms of the quantifier-free part ``Ψ``.
+    """
+
+    name: str
+    free_variables: Tuple[Variable, ...]
+    atoms: Tuple[Atom, ...]
+
+    def __init__(
+        self,
+        name: str,
+        free_variables: Sequence[Variable],
+        atoms: Iterable[Atom],
+    ) -> None:
+        object.__setattr__(self, "name", name)
+        object.__setattr__(self, "free_variables", tuple(free_variables))
+        object.__setattr__(self, "atoms", tuple(atoms))
+        self._validate()
+
+    # ------------------------------------------------------------------
+    def _validate(self) -> None:
+        seen = set()
+        for var in self.free_variables:
+            if not isinstance(var, Variable):
+                raise QueryError(f"free variable {var!r} is not a Variable")
+            if var in seen:
+                raise QueryError(f"duplicate free variable {var!r}")
+            seen.add(var)
+        body_vars = self.variables()
+        for var in self.free_variables:
+            if var not in body_vars:
+                raise QueryError(
+                    f"free variable {var!r} does not occur in the query body"
+                )
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def arity(self) -> int:
+        """Number of free variables (the arity of the defined view relation)."""
+        return len(self.free_variables)
+
+    def variables(self) -> FrozenSet[Variable]:
+        """All variables occurring in the body."""
+        result = set()
+        for atom in self.atoms:
+            result.update(atom.variables())
+        return frozenset(result)
+
+    def existential_variables(self) -> FrozenSet[Variable]:
+        """The bound (existentially quantified) variables."""
+        return self.variables() - set(self.free_variables)
+
+    def constants(self) -> FrozenSet[Constant]:
+        """All constants occurring in the body."""
+        result = set()
+        for atom in self.atoms:
+            result.update(atom.constants())
+        return frozenset(result)
+
+    def predicates(self) -> FrozenSet[str]:
+        """All predicate names used by the body."""
+        return frozenset(atom.predicate for atom in self.atoms)
+
+    def is_boolean(self) -> bool:
+        """True when the query has no free variables."""
+        return not self.free_variables
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        head = ", ".join(str(v) for v in self.free_variables)
+        body = ", ".join(repr(a) for a in self.atoms)
+        return f"{self.name}({head}) :- {body}"
+
+    # ------------------------------------------------------------------
+    # Canonical structure (Section II.A)
+    # ------------------------------------------------------------------
+    def canonical_structure(self, signature: Optional[Signature] = None) -> Structure:
+        """The canonical structure ``A[Ψ]`` of the quantifier-free part."""
+        structure = Structure(self.atoms, signature=signature, name=f"A[{self.name}]")
+        for var in self.free_variables:
+            structure.add_element(var)
+        return structure
+
+    @staticmethod
+    def from_structure(
+        structure: Structure,
+        free_elements: Sequence[object],
+        name: str = "Q",
+    ) -> "ConjunctiveQuery":
+        """The unique CQ whose canonical structure is *structure*.
+
+        Every non-constant element of *structure* becomes a variable; the
+        elements listed in *free_elements* become the free variables (in the
+        given order).  This realises the paper's remark that for a finite
+        structure ``D`` and ``V ⊆ Dom(D)`` there is a unique CQ ``Q`` with
+        ``D = A[Q]`` and ``V`` as its free variables.
+        """
+        translation: Dict[object, object] = {}
+        for index, element in enumerate(sorted(structure.domain(), key=repr)):
+            if isinstance(element, Constant):
+                translation[element] = element
+            elif isinstance(element, Variable):
+                translation[element] = element
+            else:
+                translation[element] = Variable(f"x{index}")
+        atoms = [atom.substitute(translation) for atom in structure.atoms()]
+        free = []
+        for element in free_elements:
+            image = translation.get(element, element)
+            if not isinstance(image, Variable):
+                raise QueryError(
+                    f"free element {element!r} is a constant and cannot be a free variable"
+                )
+            free.append(image)
+        return ConjunctiveQuery(name, free, atoms)
+
+    # ------------------------------------------------------------------
+    # Evaluation (the view ``Q(D)`` of the paper)
+    # ------------------------------------------------------------------
+    def homomorphisms(self, instance: Structure) -> Iterator[Dict[object, object]]:
+        """All homomorphisms from the canonical structure into *instance*."""
+        yield from all_homomorphisms(list(self.atoms), instance)
+
+    def evaluate(self, instance: Structure) -> FrozenSet[Tuple[object, ...]]:
+        """The relation ``Q(D) = {ā : D |= Q(ā)}``."""
+        answers = set()
+        for assignment in self.homomorphisms(instance):
+            answers.add(tuple(assignment[v] for v in self.free_variables))
+        return frozenset(answers)
+
+    def holds(self, instance: Structure, answer: Sequence[object] = ()) -> bool:
+        """``D |= Q(ā)`` -- or boolean satisfaction when *answer* is empty.
+
+        With an empty *answer* and a non-boolean query, all free variables are
+        treated as implicitly existentially quantified, exactly as in the
+        paper's ``D |= Q`` convention.
+        """
+        fix: Dict[object, object] = {}
+        if answer:
+            if len(answer) != self.arity:
+                raise QueryError(
+                    f"answer arity {len(answer)} does not match query arity {self.arity}"
+                )
+            fix = dict(zip(self.free_variables, answer))
+        return find_homomorphism(list(self.atoms), instance, fix=fix) is not None
+
+    def boolean_closure(self, name: Optional[str] = None) -> "ConjunctiveQuery":
+        """The boolean query ``∃* Q`` with all free variables quantified."""
+        return ConjunctiveQuery(name or f"exists_{self.name}", (), self.atoms)
+
+    # ------------------------------------------------------------------
+    # Transformations
+    # ------------------------------------------------------------------
+    def rename_predicates(self, renaming) -> "ConjunctiveQuery":
+        """Apply a predicate renaming to every atom (used for colouring)."""
+        return ConjunctiveQuery(
+            self.name,
+            self.free_variables,
+            tuple(atom.rename_predicate(renaming) for atom in self.atoms),
+        )
+
+    def substitute(self, mapping: Dict[object, object]) -> "ConjunctiveQuery":
+        """Apply a variable substitution to the body and the free variables."""
+        new_free = tuple(mapping.get(v, v) for v in self.free_variables)
+        for var in new_free:
+            if not isinstance(var, Variable):
+                raise QueryError("substitution must map free variables to variables")
+        return ConjunctiveQuery(
+            self.name,
+            new_free,
+            tuple(atom.substitute(mapping) for atom in self.atoms),
+        )
+
+    def with_name(self, name: str) -> "ConjunctiveQuery":
+        """A copy of the query under a different name."""
+        return ConjunctiveQuery(name, self.free_variables, self.atoms)

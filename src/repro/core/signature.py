@@ -1,0 +1,186 @@
+"""Relational signatures.
+
+A signature ``Σ`` (Section II.A of the paper) consists of predicate symbols
+with fixed arities and, possibly, constants.  Signatures are used to
+
+* validate structures and queries,
+* build the green-red signature ``Σ̄`` (two colour copies of every predicate,
+  constants shared -- see :mod:`repro.greenred.coloring`),
+* describe the view signature induced by a set of named conjunctive queries
+  (one relation symbol per query -- see :mod:`repro.core.views`).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, Mapping, Optional, Tuple
+
+from .atoms import Atom
+from .terms import Constant
+
+
+class SignatureError(ValueError):
+    """Raised when an atom or structure does not fit a signature."""
+
+
+@dataclass(frozen=True)
+class Predicate:
+    """A predicate symbol with its arity."""
+
+    name: str
+    arity: int
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"{self.name}/{self.arity}"
+
+
+class Signature:
+    """An immutable collection of predicate symbols and constants."""
+
+    def __init__(
+        self,
+        predicates: Optional[Mapping[str, int] | Iterable[Predicate]] = None,
+        constants: Iterable[Constant] = (),
+    ) -> None:
+        arities: Dict[str, int] = {}
+        if predicates is None:
+            predicates = {}
+        if isinstance(predicates, Mapping):
+            arities.update(predicates)
+        else:
+            for pred in predicates:
+                arities[pred.name] = pred.arity
+        self._arities: Dict[str, int] = dict(arities)
+        self._constants: Tuple[Constant, ...] = tuple(dict.fromkeys(constants))
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    @property
+    def predicate_names(self) -> Tuple[str, ...]:
+        """The predicate names, in insertion order."""
+        return tuple(self._arities)
+
+    @property
+    def predicates(self) -> Tuple[Predicate, ...]:
+        """All predicate symbols."""
+        return tuple(Predicate(name, arity) for name, arity in self._arities.items())
+
+    @property
+    def constants(self) -> Tuple[Constant, ...]:
+        """The declared constants."""
+        return self._constants
+
+    def arity(self, predicate: str) -> int:
+        """Arity of *predicate*; raises :class:`SignatureError` if unknown."""
+        try:
+            return self._arities[predicate]
+        except KeyError as exc:
+            raise SignatureError(f"unknown predicate {predicate!r}") from exc
+
+    def has_predicate(self, predicate: str) -> bool:
+        """True when *predicate* is declared."""
+        return predicate in self._arities
+
+    def __contains__(self, predicate: str) -> bool:
+        return self.has_predicate(predicate)
+
+    def __iter__(self) -> Iterator[Predicate]:
+        return iter(self.predicates)
+
+    def __len__(self) -> int:
+        return len(self._arities)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, Signature):
+            return NotImplemented
+        return (
+            self._arities == other._arities
+            and set(self._constants) == set(other._constants)
+        )
+
+    def __hash__(self) -> int:
+        return hash(
+            (frozenset(self._arities.items()), frozenset(self._constants))
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        preds = ", ".join(f"{n}/{a}" for n, a in self._arities.items())
+        consts = ", ".join(str(c) for c in self._constants)
+        if consts:
+            return f"Signature({preds}; constants: {consts})"
+        return f"Signature({preds})"
+
+    # ------------------------------------------------------------------
+    # Validation
+    # ------------------------------------------------------------------
+    def validate_atom(self, atom: Atom) -> None:
+        """Raise :class:`SignatureError` if *atom* does not fit this signature."""
+        if not self.has_predicate(atom.predicate):
+            raise SignatureError(f"atom {atom!r} uses undeclared predicate")
+        expected = self.arity(atom.predicate)
+        if atom.arity != expected:
+            raise SignatureError(
+                f"atom {atom!r} has arity {atom.arity}, expected {expected}"
+            )
+
+    def validate_atoms(self, atoms: Iterable[Atom]) -> None:
+        """Validate every atom in *atoms*."""
+        for atom in atoms:
+            self.validate_atom(atom)
+
+    # ------------------------------------------------------------------
+    # Construction helpers
+    # ------------------------------------------------------------------
+    def with_predicates(self, extra: Mapping[str, int]) -> "Signature":
+        """A new signature extended with *extra* predicates."""
+        merged = dict(self._arities)
+        for name, arity in extra.items():
+            if name in merged and merged[name] != arity:
+                raise SignatureError(
+                    f"conflicting arities for {name!r}: {merged[name]} vs {arity}"
+                )
+            merged[name] = arity
+        return Signature(merged, self._constants)
+
+    def with_constants(self, extra: Iterable[Constant]) -> "Signature":
+        """A new signature extended with *extra* constants."""
+        return Signature(self._arities, tuple(self._constants) + tuple(extra))
+
+    def restrict_to(self, predicate_names: Iterable[str]) -> "Signature":
+        """A new signature containing only the named predicates."""
+        keep = set(predicate_names)
+        return Signature(
+            {n: a for n, a in self._arities.items() if n in keep},
+            self._constants,
+        )
+
+    def union(self, other: "Signature") -> "Signature":
+        """The union of two signatures (arities must agree on shared names)."""
+        merged = self.with_predicates(dict(other._arities))
+        return merged.with_constants(other._constants)
+
+    @staticmethod
+    def from_atoms(atoms: Iterable[Atom], constants: Iterable[Constant] = ()) -> "Signature":
+        """Infer a signature from a collection of atoms."""
+        arities: Dict[str, int] = {}
+        seen_constants: list[Constant] = list(constants)
+        for atom in atoms:
+            if atom.predicate in arities and arities[atom.predicate] != atom.arity:
+                raise SignatureError(
+                    f"predicate {atom.predicate!r} used with two arities"
+                )
+            arities.setdefault(atom.predicate, atom.arity)
+            for arg in atom.args:
+                if isinstance(arg, Constant) and arg not in seen_constants:
+                    seen_constants.append(arg)
+        return Signature(arities, seen_constants)
+
+
+# A tiny default field helper used by dataclasses elsewhere in the library.
+def empty_signature() -> Signature:
+    """Return the empty signature (no predicates, no constants)."""
+    return Signature({}, ())
+
+
+EMPTY_SIGNATURE = field(default_factory=empty_signature)

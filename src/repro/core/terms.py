@@ -1,0 +1,147 @@
+"""Terms: the building blocks of atoms, queries and structure domains.
+
+The paper (Section II.A) works with relational structures whose elements are
+abstract "vertices", with constants from the signature always present in the
+domain, and with conjunctive queries whose arguments are either variables or
+constants.  This module provides the three kinds of terms used throughout the
+library:
+
+* :class:`Variable` -- a named query variable,
+* :class:`Constant` -- a named constant from the signature (never renamed,
+  never coloured, fixed by every homomorphism),
+* :class:`LabeledNull` -- a fresh element invented by the chase (the
+  existential witnesses of TGD applications).
+
+Structure domains may contain arbitrary hashable Python objects; the three
+classes above are the ones the library itself creates.  Homomorphisms treat
+:class:`Constant` elements as rigid (they must be mapped to themselves) and
+everything else as flexible.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+from typing import Iterable, Iterator
+
+
+@dataclass(frozen=True, order=True)
+class Variable:
+    """A query variable.
+
+    Variables are identified by name.  They appear as arguments of query
+    atoms and as elements of canonical structures ``A[Ψ]``.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"?{self.name}"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class Constant:
+    """A constant from the signature.
+
+    Constants survive colouring unharmed (Section IV.A) and are fixed points
+    of every homomorphism.  They belong to the domain of every structure over
+    a signature that declares them.
+    """
+
+    name: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"#{self.name}"
+
+    def __str__(self) -> str:
+        return self.name
+
+
+@dataclass(frozen=True, order=True)
+class LabeledNull:
+    """A labelled null: a fresh element created by a chase step.
+
+    The ``hint`` records which existential variable of which TGD produced the
+    null, which makes chase provenance and debugging output readable.
+    """
+
+    index: int
+    hint: str = ""
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        if self.hint:
+            return f"_:{self.hint}{self.index}"
+        return f"_:{self.index}"
+
+    def __str__(self) -> str:
+        return repr(self)
+
+
+Term = object
+"""Type alias used in signatures of functions accepting any term/element."""
+
+
+def is_rigid(element: object) -> bool:
+    """Return ``True`` when *element* must be fixed by homomorphisms.
+
+    Only :class:`Constant` elements are rigid; variables, labelled nulls and
+    arbitrary user-supplied domain elements may be mapped freely.
+    """
+    return isinstance(element, Constant)
+
+
+class FreshVariableFactory:
+    """Produces variables with globally unique (per factory) names."""
+
+    def __init__(self, prefix: str = "v") -> None:
+        self._prefix = prefix
+        self._counter = itertools.count()
+
+    def fresh(self, hint: str = "") -> Variable:
+        """Return a new variable whose name has not been handed out before."""
+        base = hint or self._prefix
+        return Variable(f"{base}_{next(self._counter)}")
+
+    def fresh_many(self, count: int, hint: str = "") -> list[Variable]:
+        """Return *count* fresh variables."""
+        return [self.fresh(hint) for _ in range(count)]
+
+
+class FreshNullFactory:
+    """Produces labelled nulls with increasing indices.
+
+    A single factory is typically owned by a chase run so that the nulls it
+    creates are globally ordered, which keeps chase output deterministic.
+    """
+
+    def __init__(self, start: int = 0) -> None:
+        self._counter = itertools.count(start)
+
+    def fresh(self, hint: str = "") -> LabeledNull:
+        """Return a new labelled null."""
+        return LabeledNull(next(self._counter), hint)
+
+    def fresh_many(self, count: int, hint: str = "") -> list[LabeledNull]:
+        """Return *count* fresh labelled nulls."""
+        return [self.fresh(hint) for _ in range(count)]
+
+
+def variables_in(terms: Iterable[object]) -> Iterator[Variable]:
+    """Yield the :class:`Variable` terms among *terms*, in order, once each."""
+    seen = set()
+    for term in terms:
+        if isinstance(term, Variable) and term not in seen:
+            seen.add(term)
+            yield term
+
+
+def constants_in(terms: Iterable[object]) -> Iterator[Constant]:
+    """Yield the :class:`Constant` terms among *terms*, in order, once each."""
+    seen = set()
+    for term in terms:
+        if isinstance(term, Constant) and term not in seen:
+            seen.add(term)
+            yield term

@@ -1,0 +1,136 @@
+"""Views defined by sets of conjunctive queries.
+
+For a set ``Q = {Q1, …, Qk}`` of named CQs and an instance ``D`` over ``Σ``,
+the *view image* ``Q(D)`` is a structure over the *view signature* -- one
+relation symbol per query ``Qi`` with arity equal to the number of its free
+variables -- containing the answer tuples of every query (Section I.B of the
+paper).  Determinacy asks whether ``Q(D)`` determines the answer to another
+query ``Q0``.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, Iterator, Mapping, Sequence, Tuple
+
+from .atoms import Atom
+from .query import ConjunctiveQuery
+from .signature import Signature
+from .structure import Structure
+
+
+class ViewSet:
+    """A finite set of named conjunctive queries used as views."""
+
+    def __init__(self, queries: Iterable[ConjunctiveQuery]) -> None:
+        self._queries: Dict[str, ConjunctiveQuery] = {}
+        for query in queries:
+            if query.name in self._queries:
+                raise ValueError(f"duplicate view name {query.name!r}")
+            self._queries[query.name] = query
+
+    # ------------------------------------------------------------------
+    @property
+    def queries(self) -> Tuple[ConjunctiveQuery, ...]:
+        """The view queries, in insertion order."""
+        return tuple(self._queries.values())
+
+    def __iter__(self) -> Iterator[ConjunctiveQuery]:
+        return iter(self._queries.values())
+
+    def __len__(self) -> int:
+        return len(self._queries)
+
+    def __getitem__(self, name: str) -> ConjunctiveQuery:
+        return self._queries[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._queries
+
+    def names(self) -> Tuple[str, ...]:
+        """The view names."""
+        return tuple(self._queries)
+
+    # ------------------------------------------------------------------
+    def view_signature(self) -> Signature:
+        """The signature of the view image: one predicate per query.
+
+        As the paper notes, ``Q(D)`` is *not* a structure over ``Σ``; its
+        signature consists of one ``k``-ary relation symbol per query with
+        ``k`` free variables.
+        """
+        return Signature({q.name: q.arity for q in self._queries.values()})
+
+    def base_signature(self) -> Signature:
+        """A signature covering every predicate used by the view bodies."""
+        atoms = [atom for q in self._queries.values() for atom in q.atoms]
+        return Signature.from_atoms(atoms)
+
+    # ------------------------------------------------------------------
+    def evaluate(self, instance: Structure, name: str = "") -> Structure:
+        """The view image ``Q(D)`` as a structure over the view signature."""
+        image = Structure(signature=self.view_signature(), name=name or "view-image")
+        for query in self._queries.values():
+            for answer in query.evaluate(instance):
+                image.add_atom(Atom(query.name, answer))
+        return image
+
+    def evaluate_as_relations(
+        self, instance: Structure
+    ) -> Dict[str, FrozenSet[Tuple[object, ...]]]:
+        """The view image as a mapping ``view name → set of answer tuples``."""
+        return {
+            name: query.evaluate(instance) for name, query in self._queries.items()
+        }
+
+    def images_agree(self, first: Structure, second: Structure) -> bool:
+        """``Q(D1) = Q(D2)`` for every view ``Q`` in the set."""
+        return self.evaluate(first).atoms() == self.evaluate(second).atoms()
+
+    def disagreeing_views(
+        self, first: Structure, second: Structure
+    ) -> Dict[str, Tuple[FrozenSet, FrozenSet]]:
+        """The views whose answers differ between the two instances."""
+        result = {}
+        for name, query in self._queries.items():
+            left = query.evaluate(first)
+            right = query.evaluate(second)
+            if left != right:
+                result[name] = (left, right)
+        return result
+
+
+def determines(
+    views: ViewSet | Sequence[ConjunctiveQuery],
+    query: ConjunctiveQuery,
+    instances: Iterable[Tuple[Structure, Structure]],
+) -> bool:
+    """Check the determinacy condition on an explicit list of instance pairs.
+
+    This is the raw definition from the introduction of the paper: for each
+    pair ``(D1, D2)`` with ``Q(D1) = Q(D2)`` it must hold that
+    ``Q0(D1) = Q0(D2)``.  The general problem quantifies over *all* finite
+    pairs and is exactly what the paper proves undecidable; this helper is the
+    finite spot-check used by tests and examples.
+    """
+    view_set = views if isinstance(views, ViewSet) else ViewSet(views)
+    for first, second in instances:
+        if not view_set.images_agree(first, second):
+            continue
+        if query.evaluate(first) != query.evaluate(second):
+            return False
+    return True
+
+
+def counterexample_pair(
+    views: ViewSet | Sequence[ConjunctiveQuery],
+    query: ConjunctiveQuery,
+    instances: Iterable[Tuple[Structure, Structure]],
+) -> Tuple[Structure, Structure] | None:
+    """Return the first pair violating determinacy among *instances*, if any."""
+    view_set = views if isinstance(views, ViewSet) else ViewSet(views)
+    for first, second in instances:
+        if not view_set.images_agree(first, second):
+            continue
+        if query.evaluate(first) != query.evaluate(second):
+            return first, second
+    return None

@@ -1,0 +1,32 @@
+"""FO non-rewritability (Section IX, Theorem 2)."""
+
+from .ef_games import distinguishing_rank, duplicator_wins, ef_equivalent
+from .late_chase import ChaseFragments, chase_fragments
+from .q_infinity import (
+    ANTENNA_B,
+    TAIL_A,
+    q_infinity_queries,
+    q_infinity_tgds,
+    q_infinity_universe,
+    seed_green_spider,
+)
+from .theorem2 import Theorem2Report, run_theorem2_experiment
+from .views_pair import ViewsPair, build_views_pair
+
+__all__ = [
+    "ANTENNA_B",
+    "ChaseFragments",
+    "TAIL_A",
+    "Theorem2Report",
+    "ViewsPair",
+    "build_views_pair",
+    "chase_fragments",
+    "distinguishing_rank",
+    "duplicator_wins",
+    "ef_equivalent",
+    "q_infinity_queries",
+    "q_infinity_tgds",
+    "q_infinity_universe",
+    "run_theorem2_experiment",
+    "seed_green_spider",
+]

@@ -1,0 +1,95 @@
+"""The structures ``Dy`` and ``Dn`` of Section IX.B.
+
+For a size parameter ``i`` ("Large Enough with respect to l"):
+
+* ``Dy`` is the disjoint union of ``dalt(chase_i ↾ G)``, of ``i`` copies of
+  ``dalt(chase^L_{2i} ↾ G)`` and of ``i`` copies of ``dalt(chase^L_{2i} ↾ R)``;
+* ``Dn`` is the same with the first component replaced by
+  ``dalt(chase_i ↾ R)``.
+
+The constants ``a`` and ``b`` belong to every copy (footnote 25), so the
+union is "disjoint" only away from them.  ``Dy`` contains a copy of
+``dalt(I)`` (the daltonised seed spider), ``Dn`` does not; yet — the paper
+argues via an EF game — the view images ``Q∞(Dy)`` and ``Q∞(Dn)`` cannot be
+distinguished by an FO sentence of bounded quantifier rank.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+from ..core.structure import Structure
+from ..core.views import ViewSet
+from .late_chase import ChaseFragments, chase_fragments
+from .q_infinity import q_infinity_queries
+
+
+@dataclass
+class ViewsPair:
+    """``Dy``, ``Dn`` and everything needed to compare their views."""
+
+    i: int
+    copies: int
+    fragments: ChaseFragments
+    dy: Structure
+    dn: Structure
+    views: ViewSet
+
+    def view_images(self) -> Tuple[Structure, Structure]:
+        """``Q∞(Dy)`` and ``Q∞(Dn)`` as structures over the view signature."""
+        return (
+            self.views.evaluate(self.dy, name="Q(Dy)"),
+            self.views.evaluate(self.dn, name="Q(Dn)"),
+        )
+
+
+def _tagged_union(parts: List[Tuple[str, Structure]], name: str) -> Structure:
+    """A disjoint union whose copies are tagged by the given labels.
+
+    Constants are shared between all parts (``Structure.rename_elements``
+    never renames constants because the tagging map skips them).
+    """
+    from ..core.terms import Constant
+
+    result = Structure(name=name)
+    for tag, part in parts:
+        mapping = {
+            element: (tag, element)
+            for element in part.domain()
+            if not isinstance(element, Constant)
+        }
+        result = result.union(part.rename_elements(mapping))
+    result.name = name
+    return result
+
+
+def build_views_pair(
+    i: int,
+    copies: int | None = None,
+    max_atoms: int = 60_000,
+) -> ViewsPair:
+    """Build ``Dy`` and ``Dn`` for the size parameter *i*.
+
+    ``copies`` overrides the number of late-fragment copies (the paper takes
+    ``i`` of each; smaller values keep the structures tractable for the EF
+    solver while preserving the shape of the argument).
+    """
+    count = copies if copies is not None else i
+    fragments = chase_fragments(i, max_atoms=max_atoms)
+    late_green = fragments.late_green_dalt()
+    late_red = fragments.late_red_dalt()
+
+    def assemble(first: Structure, name: str) -> Structure:
+        parts: List[Tuple[str, Structure]] = [("main", first)]
+        for index in range(count):
+            parts.append((f"lg{index}", late_green))
+            parts.append((f"lr{index}", late_red))
+        return _tagged_union(parts, name)
+
+    dy = assemble(fragments.early_green_dalt(), "Dy")
+    dn = assemble(fragments.early_red_dalt(), "Dn")
+    views = ViewSet(q_infinity_queries())
+    return ViewsPair(
+        i=i, copies=count, fragments=fragments, dy=dy, dn=dn, views=views
+    )

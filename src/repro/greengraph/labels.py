@@ -1,0 +1,118 @@
+"""Edge labels of green graphs (the set ``S̄ = S ∪ {∅}``).
+
+At Abstraction Level 2 (Section VI of the paper) the signature has one
+binary relation ``H(I^I, _, _)`` per green spider ``I^I`` with ``I`` a
+singleton or empty — equivalently, one binary relation per element of
+``S̄ = S ∪ {∅}``.  The paper freely identifies other alphabets with subsets
+of ``S`` "via some fixed bijection" (footnote 13): the grid labels
+``⟨n|e|s|w, α|β, d|d̄, b|b̄⟩`` of Section VII and the rainworm symbols of
+Section VIII are all just elements of ``S`` with an appropriate *parity*.
+
+A :class:`Label` is therefore a named symbol with a parity (needed by the
+parity glasses of Definition 16 and by the configuration shape conditions of
+Definition 19).  The designated labels ``1``, ``2``, ``3``, ``4`` of the
+1-2 pattern and of the Precompilation bootstrap are provided as constants.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Iterable, Tuple
+
+
+class Parity(Enum):
+    """Even / odd classification of a label (Definition 19)."""
+
+    EVEN = "even"
+    ODD = "odd"
+    NONE = "none"  # the empty label ∅, which parity never looks at
+
+    def flipped(self) -> "Parity":
+        """The opposite parity (NONE stays NONE)."""
+        if self is Parity.EVEN:
+            return Parity.ODD
+        if self is Parity.ODD:
+            return Parity.EVEN
+        return Parity.NONE
+
+
+@dataclass(frozen=True, order=True)
+class Label:
+    """A single element of ``S̄`` used as a green graph edge label."""
+
+    name: str
+    parity: Parity = Parity.EVEN
+
+    def is_empty(self) -> bool:
+        """True for the empty label ∅ (the full green spider ``I``)."""
+        return self.name == EMPTY_NAME
+
+    def is_even(self) -> bool:
+        """True for even labels."""
+        return self.parity is Parity.EVEN
+
+    def is_odd(self) -> bool:
+        """True for odd labels."""
+        return self.parity is Parity.ODD
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+    def __str__(self) -> str:
+        return self.name
+
+
+EMPTY_NAME = "∅"
+
+#: The empty label ∅ — the relation ``H(I, _, _)`` of the full green spider.
+EMPTY = Label(EMPTY_NAME, Parity.NONE)
+
+#: The designated labels of the 1-2 pattern (Definition 11) and the two
+#: auxiliary labels 3, 4 that Precompilation reserves (Definition 9 and the
+#: standing assumption that spiders I^3, I^4 do not occur in L2 rule sets).
+ONE = Label("1", Parity.ODD)
+TWO = Label("2", Parity.EVEN)
+THREE = Label("3", Parity.ODD)
+FOUR = Label("4", Parity.EVEN)
+
+RESERVED_LABELS: Tuple[Label, ...] = (ONE, TWO, THREE, FOUR)
+
+
+def label(name: str, parity: Parity = Parity.EVEN) -> Label:
+    """Create a label (convenience constructor)."""
+    return Label(name, parity)
+
+
+def even(name: str) -> Label:
+    """An even label."""
+    return Label(name, Parity.EVEN)
+
+
+def odd(name: str) -> Label:
+    """An odd label."""
+    return Label(name, Parity.ODD)
+
+
+def numeric_labels(count: int, start: int = 5) -> list[Label]:
+    """Labels named by consecutive naturals, with the natural parity.
+
+    Label ``n`` is even/odd according to ``n``; the default start of 5 avoids
+    the reserved labels 1–4.
+    """
+    result = []
+    for value in range(start, start + count):
+        parity = Parity.EVEN if value % 2 == 0 else Parity.ODD
+        result.append(Label(str(value), parity))
+    return result
+
+
+def check_distinct(labels: Iterable[Label]) -> None:
+    """Raise ``ValueError`` when two labels share a name but differ in parity."""
+    seen = {}
+    for item in labels:
+        if item.name in seen and seen[item.name] != item.parity:
+            raise ValueError(
+                f"label {item.name!r} used with two different parities"
+            )
+        seen[item.name] = item.parity

@@ -1,0 +1,179 @@
+""""Leads to the red spider" checkers for green graph rule sets (Definition 11).
+
+For ``T ⊆ L2`` the paper says that ``T`` *leads to the red spider* when every
+green graph satisfying ``T`` that contains an ∅-labelled edge also contains a
+1-2 pattern, and that ``T`` *finitely leads to the red spider* when the same
+holds for every finite such graph.  By Observation 13 and Lemma 12 these are
+exactly (finite) determinacy of ``∃* dalt(I)`` by the compiled query set.
+
+Neither property is decidable (that is the point of the paper), so this
+module provides the bounded, certificate-producing procedures the library
+actually uses:
+
+* the *chase argument*: if the chase of ``DI`` under ``T`` produces a 1-2
+  pattern at a finite stage, ``T`` leads (and finitely leads) to the red
+  spider — the chase prefix maps homomorphically into every model containing
+  ``DI`` and 1-2 patterns are preserved by homomorphisms;
+* the *counter-model argument*: a (finite) model of ``T`` containing ``DI``
+  and no 1-2 pattern certifies that ``T`` does not (finitely) lead to the
+  red spider;
+* the *merged-path argument* of Section VII Step 2: in a finite model the
+  homomorphic image of the infinite chase must identify two vertices of the
+  αβ-path; helpers here locate such identifications explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.homomorphism import find_homomorphism
+from .graph import GreenGraph, initial_graph
+from .labels import Label
+from .rules import GreenGraphChase, GreenGraphRuleSet
+
+
+class LeadsVerdict(Enum):
+    """Three-valued outcome of a bounded leads-to-the-red-spider check."""
+
+    LEADS = "leads"
+    DOES_NOT_LEAD = "does-not-lead"
+    UNKNOWN = "unknown"
+
+
+@dataclass
+class LeadsReport:
+    """Verdict with the evidence that produced it."""
+
+    verdict: LeadsVerdict
+    detail: str = ""
+    pattern_stage: Optional[int] = None
+    chase: Optional[GreenGraphChase] = None
+    countermodel: Optional[GreenGraph] = None
+
+
+def chase_for_pattern(
+    rules: GreenGraphRuleSet,
+    start: Optional[GreenGraph] = None,
+    max_stages: int = 30,
+    max_atoms: int = 20_000,
+) -> LeadsReport:
+    """Run the chase from ``DI`` (or *start*) looking for a 1-2 pattern.
+
+    A positive answer is a sound certificate for both the unrestricted and
+    the finite variant of "leads to the red spider".  A chase that reaches a
+    fixpoint without the pattern certifies the negative for the unrestricted
+    variant (the chase is universal) — and, being finite, also for the finite
+    variant.  Otherwise the verdict is ``UNKNOWN``.
+    """
+    graph = start if start is not None else initial_graph()
+    outcome = rules.chase(graph, max_stages=max_stages, max_atoms=max_atoms)
+    stage = outcome.first_stage_with_one_two_pattern()
+    if stage is not None:
+        return LeadsReport(
+            LeadsVerdict.LEADS,
+            detail=f"1-2 pattern produced at chase stage {stage}",
+            pattern_stage=stage,
+            chase=outcome,
+        )
+    if outcome.reached_fixpoint():
+        return LeadsReport(
+            LeadsVerdict.DOES_NOT_LEAD,
+            detail="chase reached a fixpoint with no 1-2 pattern; "
+            "the chase itself is a (finite) counter-model",
+            chase=outcome,
+            countermodel=outcome.graph(),
+        )
+    return LeadsReport(
+        LeadsVerdict.UNKNOWN,
+        detail=f"no 1-2 pattern within {outcome.stage_count()} stages",
+        chase=outcome,
+    )
+
+
+def is_countermodel(
+    graph: GreenGraph, rules: GreenGraphRuleSet, require_empty_edge: bool = True
+) -> bool:
+    """Is *graph* a model of *rules* containing ``DI`` but no 1-2 pattern?
+
+    Such a graph certifies that the rule set does **not** (finitely, when the
+    graph is finite — which it always is here) lead to the red spider.
+    """
+    if require_empty_edge and not graph.contains_empty_edge():
+        return False
+    if graph.contains_one_two_pattern():
+        return False
+    return rules.is_satisfied_by(graph)
+
+
+def countermodel_report(
+    graph: GreenGraph, rules: GreenGraphRuleSet
+) -> LeadsReport:
+    """Package a counter-model check as a :class:`LeadsReport`."""
+    if is_countermodel(graph, rules):
+        return LeadsReport(
+            LeadsVerdict.DOES_NOT_LEAD,
+            detail="supplied graph is a model with DI and no 1-2 pattern",
+            countermodel=graph,
+        )
+    reasons = []
+    if not graph.contains_empty_edge():
+        reasons.append("no ∅ edge")
+    if graph.contains_one_two_pattern():
+        reasons.append("contains a 1-2 pattern")
+    if not rules.is_satisfied_by(graph):
+        reasons.append("does not satisfy the rules")
+    return LeadsReport(
+        LeadsVerdict.UNKNOWN,
+        detail="candidate rejected: " + ", ".join(reasons),
+    )
+
+
+# ----------------------------------------------------------------------
+# The homomorphism / merged-path argument of Section VII, Step 2
+# ----------------------------------------------------------------------
+def chase_image_in_model(
+    rules: GreenGraphRuleSet,
+    model: GreenGraph,
+    max_stages: int = 12,
+    max_atoms: int = 10_000,
+) -> Optional[Dict[object, object]]:
+    """A homomorphism from a chase prefix of ``DI`` under *rules* into *model*.
+
+    The existence of such a homomorphism (for every prefix) is the textbook
+    universality of the chase [JK82]; the paper uses it to argue that every
+    finite model of ``T ⊇ T∞`` containing ``DI`` must identify two vertices
+    of the infinite αβ-path.
+    """
+    prefix = rules.chase(
+        initial_graph(), max_stages=max_stages, max_atoms=max_atoms
+    ).graph()
+    return find_homomorphism(prefix.structure(), model.structure())
+
+
+def merged_path_vertices(
+    rules: GreenGraphRuleSet,
+    model: GreenGraph,
+    path_vertices: Sequence[object],
+    max_stages: int = 12,
+) -> Optional[Tuple[object, object, object]]:
+    """Two distinct αβ-path vertices with the same image in *model*.
+
+    Returns ``(first, second, image)`` where *first* and *second* are chase
+    vertices mapped by the chase-to-model homomorphism onto the same model
+    vertex — the ``b_t``, ``b_t′`` of Figure 2 — or ``None`` when the prefix
+    explored embeds injectively.
+    """
+    assignment = chase_image_in_model(rules, model, max_stages=max_stages)
+    if assignment is None:
+        return None
+    seen: Dict[object, object] = {}
+    for vertex in path_vertices:
+        if vertex not in assignment:
+            continue
+        image = assignment[vertex]
+        if image in seen and seen[image] != vertex:
+            return seen[image], vertex, image
+        seen[image] = vertex
+    return None

@@ -1,0 +1,221 @@
+"""Parity glasses, paths and words of a green graph (Definitions 15–16).
+
+In the interesting green graphs every vertex has in-degree 0 or out-degree 0,
+so all directed paths have length one.  The paper therefore reads graphs
+through *parity glasses*: remove the ∅-labelled edges and reverse every edge
+whose label is odd.  Through the glasses the chase of ``T∞`` becomes a long
+directed path and configurations of rainworm machines become words.
+
+* ``paths(M, s, t)`` (Definition 15) is the set of words accepted by ``M``
+  seen as an NFA with initial state ``s`` and accepting state ``t``, such
+  that no nonempty proper prefix is accepted.
+* ``words(M)`` (Definition 16) is ``paths(PG(M), a, a) ∪ paths(PG(M), a, b)``.
+
+Both are computed exactly, up to a caller-supplied word-length bound (the
+graphs themselves may describe infinite languages only through unboundedly
+long words; every use in the paper that we reproduce is about words of a
+known bounded length).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .graph import VERTEX_A, VERTEX_B, Edge, GreenGraph
+from .labels import EMPTY_NAME, Label, Parity
+
+Word = Tuple[str, ...]
+
+
+def parity_glasses(graph: GreenGraph, name: str = "") -> GreenGraph:
+    """The graph ``PG(M)``: drop ∅ edges, reverse odd-labelled edges."""
+    result = GreenGraph(name=name or f"PG({graph.name})")
+    for vertex in graph.vertices():
+        result.add_vertex(vertex)
+    for edge in graph.edges():
+        if edge.label_name == EMPTY_NAME:
+            continue
+        label = graph.known_label(edge.label_name)
+        parity = label.parity if label is not None else Parity.EVEN
+        if label is not None:
+            result.register_label(label)
+        if parity is Parity.ODD:
+            result.add_edge(edge.label_name, edge.target, edge.source)
+        else:
+            result.add_edge(edge.label_name, edge.source, edge.target)
+    return result
+
+
+def _edges_by_source(graph: GreenGraph) -> Dict[object, List[Edge]]:
+    table: Dict[object, List[Edge]] = {}
+    for edge in graph.edges():
+        table.setdefault(edge.source, []).append(edge)
+    return table
+
+
+def paths_to_set(
+    graph: GreenGraph,
+    source: object,
+    targets: Iterable[object],
+    max_length: int = 64,
+    max_words: int = 100_000,
+) -> FrozenSet[Word]:
+    """Prefix-minimal accepted words with a *set* of accepting states.
+
+    The graph is treated as an NFA over the label alphabet; a word belongs to
+    the result when some walk from *source* spelling it ends in one of the
+    *targets* and none of its nonempty proper prefixes is accepted (by any
+    target).  The computation proceeds breadth-first over words (shared
+    between all paths spelling them), so prefix-minimality is exact within
+    the length bound.
+    """
+    accepting = set(targets)
+    adjacency = _edges_by_source(graph)
+    accepted: Set[Word] = set()
+    frontier: Dict[Word, FrozenSet[object]] = {(): frozenset([source])}
+    for _ in range(max_length):
+        next_frontier: Dict[Word, Set[object]] = {}
+        for word, states in frontier.items():
+            for state in states:
+                for edge in adjacency.get(state, ()):
+                    extended = word + (edge.label_name,)
+                    next_frontier.setdefault(extended, set()).add(edge.target)
+        frontier = {}
+        for word, states in next_frontier.items():
+            if accepting & states:
+                accepted.add(word)
+                if len(accepted) >= max_words:
+                    return frozenset(accepted)
+            else:
+                frontier[word] = frozenset(states)
+        if not frontier:
+            break
+    return frozenset(accepted)
+
+
+def paths(
+    graph: GreenGraph,
+    source: object,
+    target: object,
+    max_length: int = 64,
+    max_words: int = 100_000,
+) -> FrozenSet[Word]:
+    """``paths(M, s, t)`` of Definition 15, up to *max_length* letters."""
+    return paths_to_set(graph, source, (target,), max_length, max_words)
+
+
+def words(
+    graph: GreenGraph, max_length: int = 64, max_words: int = 100_000
+) -> FrozenSet[Word]:
+    """``words(M)`` of Definition 16 (the graph must contain ``DI``).
+
+    Definition 16 writes ``words(M) = paths(PG(M), a, a) ∪ paths(PG(M), a, b)``;
+    the worked example below the definition (the chase of ``T∞``) makes clear
+    that prefix-minimality is meant *jointly* — a word that revisits ``a`` on
+    the way to ``b`` is not counted, because its prefix is already accepted by
+    the other member of the union.  We therefore compute prefix-minimal
+    acceptance with the accepting set ``{a, b}``, which reproduces the
+    paper's ``{α(β1β0)^k η1} ∪ {α(β1β0)^k β1 η0}`` exactly.
+    """
+    glasses = parity_glasses(graph)
+    return paths_to_set(glasses, VERTEX_A, (VERTEX_A, VERTEX_B), max_length, max_words)
+
+
+def word_string(word: Sequence[str]) -> str:
+    """Render a word as a compact string (useful in reports and benches)."""
+    return "·".join(word)
+
+
+# ----------------------------------------------------------------------
+# αβ-paths
+# ----------------------------------------------------------------------
+def is_alpha_beta_word(
+    word: Sequence[str], alpha: Label, beta0: Label, beta1: Label
+) -> bool:
+    """Does *word* match ``α (β1 β0)*``?"""
+    if not word or word[0] != alpha.name:
+        return False
+    rest = list(word[1:])
+    if len(rest) % 2 != 0:
+        return False
+    for index in range(0, len(rest), 2):
+        if rest[index] != beta1.name or rest[index + 1] != beta0.name:
+            return False
+    return True
+
+
+def alpha_beta_words(
+    graph: GreenGraph,
+    alpha: Label,
+    beta0: Label,
+    beta1: Label,
+    max_length: int = 64,
+) -> FrozenSet[Word]:
+    """All words of the graph matching ``α (β1 β0)*`` (through parity glasses)."""
+    glasses = parity_glasses(graph)
+    collected: Set[Word] = set()
+    adjacency = _edges_by_source(glasses)
+    # Directly enumerate walks spelling α(β1β0)* from a; this avoids the
+    # prefix-minimality machinery (αβ-words are never prefixes of each other
+    # apart from the trivial nesting, which we do want to keep).
+    def extend(vertex: object, word: Word, expect: Tuple[str, ...]) -> None:
+        if len(word) > max_length:
+            return
+        if word and (len(word) - 1) % 2 == 0:
+            collected.add(word)
+        wanted = expect[0]
+        for edge in adjacency.get(vertex, ()):
+            if edge.label_name == wanted:
+                extend(edge.target, word + (edge.label_name,), expect[1:] + (wanted,))
+
+    for edge in adjacency.get(VERTEX_A, ()):
+        if edge.label_name == alpha.name:
+            extend(edge.target, (alpha.name,), (beta1.name, beta0.name))
+    return frozenset(w for w in collected if is_alpha_beta_word(w, alpha, beta0, beta1))
+
+
+def alpha_beta_vertex_paths(
+    graph: GreenGraph,
+    alpha: Label,
+    beta0: Label,
+    beta1: Label,
+    max_length: int = 64,
+) -> List[Tuple[object, ...]]:
+    """All αβ-paths as vertex sequences (through parity glasses), longest first.
+
+    The first vertex of every returned path is ``a``; the remaining vertices
+    alternate between the ``b``-side and ``a``-side of the zig-zag of
+    Figure 1.
+    """
+    glasses = parity_glasses(graph)
+    adjacency = _edges_by_source(glasses)
+    results: List[Tuple[object, ...]] = []
+
+    def extend(path: Tuple[object, ...], expect: Tuple[str, ...]) -> None:
+        if len(path) > max_length:
+            return
+        if len(path) >= 2 and len(path) % 2 == 0:
+            # Only even vertex counts spell a complete α(β1β0)^k word.
+            results.append(path)
+        wanted = expect[0]
+        for edge in adjacency.get(path[-1], ()):
+            if edge.label_name == wanted:
+                extend(path + (edge.target,), expect[1:] + (wanted,))
+
+    for edge in adjacency.get(VERTEX_A, ()):
+        if edge.label_name == alpha.name:
+            extend((VERTEX_A, edge.target), (beta1.name, beta0.name))
+    results.sort(key=len, reverse=True)
+    return results
+
+
+def longest_alpha_beta_path(
+    graph: GreenGraph,
+    alpha: Label,
+    beta0: Label,
+    beta1: Label,
+    max_length: int = 128,
+) -> Optional[Tuple[object, ...]]:
+    """The longest αβ-path (as a vertex sequence), or ``None`` when absent."""
+    all_paths = alpha_beta_vertex_paths(graph, alpha, beta0, beta1, max_length)
+    return all_paths[0] if all_paths else None

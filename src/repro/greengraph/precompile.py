@@ -1,0 +1,87 @@
+"""``Precompile``: from Level-2 rules to Level-1 rules (Definition 9).
+
+For a set ``T ⊆ L2`` the procedure is:
+
+* start with the three bootstrap rules
+  ``f^1_1 &· f^2_2``,  ``f^3_1 &· f^4_2``  and  ``f^3 &· f^4_3``
+  (they turn a 1-2 pattern into a full red spider in three steps —
+  footnote 10 of the paper);
+* number the rules of ``T`` with naturals ``2, 3, …, k``;
+* for the ``i``-th rule ``I1 &·· I2 ] I3 &·· I4`` add the two rules
+  ``f^{I1}_{2i+1} &· f^{I2}_{2i+2}`` and ``f^{I3}_{2i+1} &· f^{I4}_{2i+2}``
+  (and analogously with ``/·`` for a ``/··`` rule).
+
+Remark 10: the two added rules simulate one execution of the Level-2 rule in
+two steps, leaving behind two red edges labelled ``H_{2i+1}`` and
+``H_{2i+2}`` as a harmless by-product.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..spiders.algebra import SpiderQuerySpec, spider_query
+from ..swarm.rules import (
+    SwarmRule,
+    SwarmRuleKind,
+    SwarmRuleSet,
+    shared_antenna_rule,
+    shared_tail_rule,
+)
+from .labels import Label
+from .rules import GreenGraphRule, GreenGraphRuleSet, RuleKind
+
+
+def bootstrap_rules() -> List[SwarmRule]:
+    """The three rules that convert a 1-2 pattern into the full red spider."""
+    return [
+        shared_antenna_rule(
+            spider_query("1", "1"), spider_query("2", "2"), name="boot::f^1_1&f^2_2"
+        ),
+        shared_antenna_rule(
+            spider_query("3", "1"), spider_query("4", "2"), name="boot::f^3_1&f^4_2"
+        ),
+        shared_antenna_rule(
+            spider_query("3", None), spider_query("4", "3"), name="boot::f^3&f^4_3"
+        ),
+    ]
+
+
+def _upper_index(label: Label) -> object:
+    """The upper index set of a spider query for a green-graph label."""
+    return None if label.is_empty() else label.name
+
+
+def precompile_rule(rule: GreenGraphRule, number: int) -> List[SwarmRule]:
+    """The two Level-1 rules simulating the *number*-th Level-2 rule."""
+    odd = str(2 * number + 1)
+    even = str(2 * number + 2)
+    i1, i2 = rule.left
+    i3, i4 = rule.right
+    first_pair = (
+        SpiderQuerySpec(_upper_index(i1), odd),
+        SpiderQuerySpec(_upper_index(i2), even),
+    )
+    second_pair = (
+        SpiderQuerySpec(_upper_index(i3), odd),
+        SpiderQuerySpec(_upper_index(i4), even),
+    )
+    base = rule.name or rule.display()
+    if rule.kind is RuleKind.AND:
+        return [
+            shared_antenna_rule(*first_pair, name=f"{base}::sim-left"),
+            shared_antenna_rule(*second_pair, name=f"{base}::sim-right"),
+        ]
+    return [
+        shared_tail_rule(*first_pair, name=f"{base}::sim-left"),
+        shared_tail_rule(*second_pair, name=f"{base}::sim-right"),
+    ]
+
+
+def precompile(rules: GreenGraphRuleSet) -> SwarmRuleSet:
+    """``Precompile(T)`` of Definition 9."""
+    result: List[SwarmRule] = list(bootstrap_rules())
+    for offset, rule in enumerate(rules.rules):
+        number = offset + 2  # the paper numbers the rules 2, 3, …, k
+        result.extend(precompile_rule(rule, number))
+    return SwarmRuleSet(result, name=f"Precompile({rules.name})" if rules.name else "")

@@ -1,0 +1,79 @@
+"""Certificates and verdicts produced by the determinacy checkers.
+
+Determinacy (unrestricted) is r.e. and finite determinacy is co-r.e.
+(Section III of the paper), so any terminating checker can only return a
+three-valued verdict: a definite positive with a certificate, a definite
+negative with a counterexample, or "unknown within the explored bounds".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Optional, Tuple
+
+from ..core.structure import Structure
+
+
+class Verdict(Enum):
+    """Three-valued outcome of a bounded determinacy check."""
+
+    DETERMINED = "determined"
+    NOT_DETERMINED = "not-determined"
+    UNKNOWN = "unknown"
+
+    def __bool__(self) -> bool:  # pragma: no cover - defensive
+        raise TypeError(
+            "a Verdict must not be used as a boolean; compare against "
+            "Verdict.DETERMINED / Verdict.NOT_DETERMINED explicitly"
+        )
+
+
+@dataclass(frozen=True)
+class DeterminacyCertificate:
+    """Evidence for a positive answer of the chase-based check.
+
+    ``chase_structure`` is the (prefix of the) universal structure
+    ``chase(T_Q, green(Q0))`` in which the red copy of ``Q0`` was found, and
+    ``stage`` is the chase stage at which it became true.
+    """
+
+    chase_structure: Structure
+    stage: int
+
+
+@dataclass(frozen=True)
+class CounterexampleCertificate:
+    """Evidence for a negative answer.
+
+    ``structure`` is a structure over ``Σ̄`` satisfying ``T_Q`` that contains
+    the green copy of ``Q0`` (at ``answer``) but not the red one — i.e. a
+    single two-coloured counterexample in the sense of CQfDP.3.  The
+    equivalent pair of ``Σ``-instances is obtained by daltonising its green
+    and red parts (see :func:`repro.greenred.determinacy.counterexample_pair`).
+    """
+
+    structure: Structure
+    answer: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class DeterminacyReport:
+    """Verdict plus whichever certificate applies."""
+
+    verdict: Verdict
+    certificate: Optional[DeterminacyCertificate] = None
+    counterexample: Optional[CounterexampleCertificate] = None
+    detail: str = ""
+
+    def is_determined(self) -> bool:
+        """Convenience accessor."""
+        return self.verdict is Verdict.DETERMINED
+
+    def is_not_determined(self) -> bool:
+        """Convenience accessor."""
+        return self.verdict is Verdict.NOT_DETERMINED
+
+    def is_unknown(self) -> bool:
+        """Convenience accessor."""
+        return self.verdict is Verdict.UNKNOWN

@@ -1,0 +1,216 @@
+"""The green-red signature and the colouring / daltonisation operations.
+
+Section IV.A of the paper: for a signature ``Σ`` let ``Σ_G`` and ``Σ_R`` be
+two copies of ``Σ`` whose symbols have the same names and arities but are
+"written in green and red", and let ``Σ̄`` be their union.  Constants are
+never coloured.  For a formula (or structure) over ``Σ``:
+
+* ``G(Ψ)`` paints every predicate green,
+* ``R(Ψ)`` paints every predicate red,
+* ``dalt(Ψ)`` ("daltonisation") erases the colours,
+* ``D ↾ G`` / ``D ↾ R`` keep only the atoms of one colour.
+
+Colours are realised as predicate-name prefixes (``G::`` / ``R::``), which
+keeps every coloured object an ordinary structure/query over an ordinary
+signature and lets the whole green-red machinery ride on the generic core.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Iterable, Optional
+
+from ..core.atoms import Atom
+from ..core.query import ConjunctiveQuery
+from ..core.signature import Signature
+from ..core.structure import Structure
+
+GREEN_PREFIX = "G::"
+RED_PREFIX = "R::"
+
+
+class Color(Enum):
+    """The two colours of the doubled signature."""
+
+    GREEN = "G"
+    RED = "R"
+
+    @property
+    def prefix(self) -> str:
+        """The predicate-name prefix realising this colour."""
+        return GREEN_PREFIX if self is Color.GREEN else RED_PREFIX
+
+    def opposite(self) -> "Color":
+        """The other colour."""
+        return Color.RED if self is Color.GREEN else Color.GREEN
+
+
+# ----------------------------------------------------------------------
+# Predicate-name level
+# ----------------------------------------------------------------------
+def paint_name(name: str, color: Color) -> str:
+    """Paint a predicate name; painting an already coloured name is an error."""
+    if is_colored_name(name):
+        raise ValueError(f"predicate {name!r} is already coloured")
+    return color.prefix + name
+
+
+def green_name(name: str) -> str:
+    """``G(name)`` at the predicate level."""
+    return paint_name(name, Color.GREEN)
+
+
+def red_name(name: str) -> str:
+    """``R(name)`` at the predicate level."""
+    return paint_name(name, Color.RED)
+
+
+def dalt_name(name: str) -> str:
+    """Erase the colour of a predicate name (no-op for uncoloured names)."""
+    if name.startswith(GREEN_PREFIX):
+        return name[len(GREEN_PREFIX):]
+    if name.startswith(RED_PREFIX):
+        return name[len(RED_PREFIX):]
+    return name
+
+
+def is_colored_name(name: str) -> bool:
+    """True when the predicate name carries a colour prefix."""
+    return name.startswith(GREEN_PREFIX) or name.startswith(RED_PREFIX)
+
+
+def color_of_name(name: str) -> Optional[Color]:
+    """The colour of a predicate name, or ``None`` when uncoloured."""
+    if name.startswith(GREEN_PREFIX):
+        return Color.GREEN
+    if name.startswith(RED_PREFIX):
+        return Color.RED
+    return None
+
+
+def swap_name(name: str) -> str:
+    """Swap green and red on a coloured predicate name."""
+    color = color_of_name(name)
+    if color is None:
+        raise ValueError(f"predicate {name!r} is not coloured")
+    return paint_name(dalt_name(name), color.opposite())
+
+
+# ----------------------------------------------------------------------
+# Atom / query level
+# ----------------------------------------------------------------------
+def paint_atom(atom: Atom, color: Color) -> Atom:
+    """Paint an atom's predicate (arguments, incl. constants, untouched)."""
+    return atom.rename_predicate(lambda n: paint_name(n, color))
+
+
+def dalt_atom(atom: Atom) -> Atom:
+    """Erase the colour of an atom's predicate."""
+    return atom.rename_predicate(dalt_name)
+
+
+def paint_query(query: ConjunctiveQuery, color: Color) -> ConjunctiveQuery:
+    """``G(Q)`` / ``R(Q)`` for a conjunctive query."""
+    return query.rename_predicates(lambda n: paint_name(n, color)).with_name(
+        f"{color.value}({query.name})"
+    )
+
+
+def green_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """``G(Q)``."""
+    return paint_query(query, Color.GREEN)
+
+
+def red_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """``R(Q)``."""
+    return paint_query(query, Color.RED)
+
+
+def dalt_query(query: ConjunctiveQuery) -> ConjunctiveQuery:
+    """``dalt(Q)``: erase colours from a query over ``Σ̄``."""
+    return query.rename_predicates(dalt_name).with_name(f"dalt({query.name})")
+
+
+# ----------------------------------------------------------------------
+# Structure level
+# ----------------------------------------------------------------------
+def paint_structure(structure: Structure, color: Color, name: str = "") -> Structure:
+    """Paint every atom of a structure over ``Σ`` with *color*."""
+    return structure.rename_predicates(
+        lambda n: paint_name(n, color), name=name or f"{color.value}({structure.name})"
+    )
+
+
+def green_structure(structure: Structure, name: str = "") -> Structure:
+    """``G(D)``."""
+    return paint_structure(structure, Color.GREEN, name=name)
+
+
+def red_structure(structure: Structure, name: str = "") -> Structure:
+    """``R(D)``."""
+    return paint_structure(structure, Color.RED, name=name)
+
+
+def dalt_structure(structure: Structure, name: str = "") -> Structure:
+    """``dalt(D)``: erase colours from a structure over ``Σ̄``.
+
+    Atoms that only differ by colour collapse into a single atom, exactly as
+    in the paper.
+    """
+    return structure.rename_predicates(
+        dalt_name, name=name or f"dalt({structure.name})"
+    )
+
+
+def color_restriction(structure: Structure, color: Color, name: str = "") -> Structure:
+    """``D ↾ G`` / ``D ↾ R``: the substructure of atoms of one colour.
+
+    The domain is preserved (the paper's restriction keeps the vertex set).
+    """
+    return structure.restrict_predicates(
+        lambda n: color_of_name(n) is color,
+        name=name or f"{structure.name}|{color.value}",
+    )
+
+
+def green_part(structure: Structure) -> Structure:
+    """``D ↾ G``."""
+    return color_restriction(structure, Color.GREEN)
+
+
+def red_part(structure: Structure) -> Structure:
+    """``D ↾ R``."""
+    return color_restriction(structure, Color.RED)
+
+
+def swap_colors(structure: Structure, name: str = "") -> Structure:
+    """Swap green and red throughout a structure over ``Σ̄``."""
+    return structure.rename_predicates(
+        lambda n: swap_name(n) if is_colored_name(n) else n,
+        name=name or f"swap({structure.name})",
+    )
+
+
+# ----------------------------------------------------------------------
+# Signature level
+# ----------------------------------------------------------------------
+def green_red_signature(signature: Signature) -> Signature:
+    """``Σ̄``: one green and one red copy of every predicate, constants shared."""
+    doubled = {}
+    for predicate in signature.predicates:
+        doubled[green_name(predicate.name)] = predicate.arity
+        doubled[red_name(predicate.name)] = predicate.arity
+    return Signature(doubled, signature.constants)
+
+
+def base_signature_of(colored: Signature) -> Signature:
+    """Recover ``Σ`` from ``Σ̄`` (daltonise the predicate names)."""
+    base = {}
+    for predicate in colored.predicates:
+        base[dalt_name(predicate.name)] = predicate.arity
+    return Signature(base, colored.constants)
+
+
+def atoms_of_color(atoms: Iterable[Atom], color: Color) -> list[Atom]:
+    """Filter an atom collection down to one colour."""
+    return [atom for atom in atoms if color_of_name(atom.predicate) is color]

@@ -1,0 +1,165 @@
+"""Rainworm configurations (Definition 19) and their anatomy.
+
+A word ``w ∈ (A + Q)*`` is an *RM configuration* when
+
+1. ``w ∈ A+ Q A*`` — exactly one head symbol;
+2. the last symbol of ``w`` is one of ``η11, η0, η1, ω0``;
+3. even and odd symbols alternate;
+4. ``w = w1 w2`` where ``w1 ∈ α(β1β0)* ∪ α(β1β0)*β1`` (the *slime trail*),
+   ``w2`` begins with ``γ0``, ``γ1`` or a ``Qγ`` state (the *rainworm*
+   itself) and none of ``α, β0, β1`` occurs in ``w2``.
+
+Lemma 20 states that every word reachable from ``α η11`` is a configuration;
+the simulator's tests exercise exactly that.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from .machine import (
+    ALPHA,
+    BETA0,
+    BETA1,
+    ETA0,
+    ETA1,
+    ETA11,
+    GAMMA0,
+    GAMMA1,
+    OMEGA0,
+    RWSymbol,
+    SymbolKind,
+)
+
+Configuration = Tuple[RWSymbol, ...]
+
+_TRAIL_SYMBOLS = {ALPHA, BETA0, BETA1}
+_FINAL_SYMBOLS = {ETA11, ETA0, ETA1, OMEGA0}
+_WORM_OPENERS = {
+    SymbolKind.GAMMA_0,
+    SymbolKind.GAMMA_1,
+    SymbolKind.STATE_GAMMA_0,
+    SymbolKind.STATE_GAMMA_1,
+    # The initial configuration α η11 is the single degenerate case: its worm
+    # part is just η11 (before ♦1 installs the γ marker).  Definition 19(4)
+    # lists only γ/Qγ openers, but Lemma 20 counts the initial configuration
+    # as a configuration, so we admit η11 as an opener as well.
+    SymbolKind.ETA_11,
+}
+
+
+def has_single_head(word: Sequence[RWSymbol]) -> bool:
+    """Condition (1): ``w ∈ A+ Q A*``."""
+    head_positions = [i for i, s in enumerate(word) if s.is_state]
+    if len(head_positions) != 1:
+        return False
+    return head_positions[0] >= 1
+
+
+def ends_properly(word: Sequence[RWSymbol]) -> bool:
+    """Condition (2): the last symbol is η11, η0, η1 or ω0."""
+    return bool(word) and word[-1] in _FINAL_SYMBOLS
+
+
+def alternates(word: Sequence[RWSymbol]) -> bool:
+    """Condition (3): even and odd symbols alternate."""
+    for first, second in zip(word, word[1:]):
+        if first.is_even == second.is_even:
+            return False
+    return True
+
+
+def split_trail_and_worm(
+    word: Sequence[RWSymbol],
+) -> Optional[Tuple[Tuple[RWSymbol, ...], Tuple[RWSymbol, ...]]]:
+    """Condition (4): split ``w`` into the slime trail ``w1`` and the worm ``w2``."""
+    symbols = tuple(word)
+    split = 0
+    while split < len(symbols) and symbols[split] in _TRAIL_SYMBOLS:
+        split += 1
+    trail, worm = symbols[:split], symbols[split:]
+    if not _is_valid_trail(trail):
+        return None
+    if not worm or worm[0].kind not in _WORM_OPENERS:
+        return None
+    if any(symbol in _TRAIL_SYMBOLS for symbol in worm):
+        return None
+    return trail, worm
+
+
+def _is_valid_trail(trail: Sequence[RWSymbol]) -> bool:
+    """Is the trail of the form ``α(β1β0)*`` or ``α(β1β0)*β1``?"""
+    if not trail or trail[0] != ALPHA:
+        return False
+    rest = list(trail[1:])
+    index = 0
+    while index + 1 < len(rest) and rest[index] == BETA1 and rest[index + 1] == BETA0:
+        index += 2
+    remaining = rest[index:]
+    return remaining == [] or remaining == [BETA1]
+
+
+def is_configuration(word: Sequence[RWSymbol]) -> bool:
+    """All four conditions of Definition 19."""
+    return (
+        has_single_head(word)
+        and ends_properly(word)
+        and alternates(word)
+        and split_trail_and_worm(word) is not None
+    )
+
+
+def satisfies_shape_conditions(word: Sequence[RWSymbol]) -> bool:
+    """Conditions (1)–(3) only (Lemma 22(1) speaks about these)."""
+    return has_single_head(word) and ends_properly(word) and alternates(word)
+
+
+@dataclass(frozen=True)
+class ConfigurationAnatomy:
+    """A configuration split into its named parts."""
+
+    trail: Tuple[RWSymbol, ...]
+    worm: Tuple[RWSymbol, ...]
+
+    @property
+    def trail_length(self) -> int:
+        """Length of the slime trail (the αβ-path the worm leaves behind)."""
+        return len(self.trail)
+
+    @property
+    def worm_length(self) -> int:
+        """Length of the rainworm proper."""
+        return len(self.worm)
+
+    def head(self) -> Optional[RWSymbol]:
+        """The head symbol, if present in the worm part."""
+        for symbol in self.worm:
+            if symbol.is_state:
+                return symbol
+        return None
+
+    def head_position(self) -> Optional[int]:
+        """Index of the head symbol within the full configuration."""
+        for index, symbol in enumerate(self.trail + self.worm):
+            if symbol.is_state:
+                return index
+        return None
+
+
+def anatomy(word: Sequence[RWSymbol]) -> ConfigurationAnatomy:
+    """Split a configuration into trail and worm (raises if malformed)."""
+    parts = split_trail_and_worm(word)
+    if parts is None:
+        raise ValueError(f"not an RM configuration: {render(word)}")
+    return ConfigurationAnatomy(*parts)
+
+
+def render(word: Sequence[RWSymbol]) -> str:
+    """A compact printable form of a configuration."""
+    return " ".join(symbol.name for symbol in word)
+
+
+def word_names(word: Sequence[RWSymbol]) -> Tuple[str, ...]:
+    """The configuration as a tuple of symbol names (green-graph word form)."""
+    return tuple(symbol.name for symbol in word)

@@ -1,0 +1,301 @@
+"""Compiling Turing machines into rainworm machines (the source of Lemma 21).
+
+The paper's Lemma 21 — "whether the rainworm creeps forever is undecidable"
+— is justified by "textbook techniques".  This module makes the reduction
+concrete: given a deterministic Turing machine ``M`` (one-way infinite tape,
+never moving left from cell 0), it produces a rainworm machine ``∆(M)`` such
+that
+
+    ∆(M) creeps forever   ⇔   M does not halt (started on a blank tape).
+
+**How the simulation works.**  The worm body between the ``γ`` marker and
+the ``ω0`` end stores the TM configuration, one logical symbol per cell;
+one logical symbol is the *head marker* ``(state, symbol)``.  Every creep
+cycle of the rainworm:
+
+* ♦2 appends a *virgin blank* ``V`` at the front (the tape grows by one);
+* the left sweep (♦4/♦4′) copies every cell unchanged (it only flips the
+  parity variant, as the rule format forces);
+* ♦5/♦5′ move the rear marker and ♦6/♦6′ consume the rearmost cell, loading
+  it into the right-sweep state;
+* the right sweep (♦7/♦7′) is a one-cell *delay line*: it re-emits the
+  consumed cell first and each read cell one position later, so the encoded
+  configuration stays anchored at the rear even though the worm loses one
+  cell there per cycle;
+* while passing the head marker the delay line applies exactly one TM step
+  (rewriting the marked cell and moving the marker one cell left or right);
+* ♦8 flushes the delay line into the cell it appends.
+
+A missing TM transition translates into a missing ♦6/♦7 instruction, so the
+worm halts exactly when the TM does.  The compiler below is exercised by the
+test suite on halting and non-halting Turing machines.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple, Union
+
+from .machine import (
+    BETA0,
+    BETA1,
+    ETA0,
+    ETA1,
+    ETA11,
+    GAMMA0,
+    GAMMA1,
+    OMEGA0,
+    Instruction,
+    InstructionForm,
+    RWSymbol,
+    RainwormMachine,
+    SymbolKind,
+    state,
+    tape0,
+    tape1,
+)
+from .turing import Move, TuringMachine
+
+#: The virgin blank appended by ♦2 every cycle (read as a blank by the TM).
+VIRGIN = "V"
+
+
+@dataclass(frozen=True)
+class Marker:
+    """The logical symbol carrying the TM head: ``(state, tape symbol)``."""
+
+    state: str
+    symbol: str
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"[{self.state}|{self.symbol}]"
+
+
+LogicalSymbol = Union[str, Marker]
+"""A logical worm cell: a TM tape symbol, the virgin blank, or a head marker."""
+
+
+@dataclass(frozen=True)
+class SweepState:
+    """The right-sweep state: the delayed cell plus the marker-pending mode."""
+
+    buffer: LogicalSymbol
+    mark_with: Optional[str] = None  # a TM state when the *next* cell gets the head
+
+
+def _logical_name(value: LogicalSymbol) -> str:
+    if isinstance(value, Marker):
+        return f"m({value.state};{value.symbol})"
+    return f"t({value})"
+
+
+def _tape_value(value: LogicalSymbol, blank: str) -> str:
+    """The TM tape symbol a logical cell represents (markers keep their symbol)."""
+    if isinstance(value, Marker):
+        return value.symbol
+    if value == VIRGIN:
+        return blank
+    return value
+
+
+class TMEncodingError(ValueError):
+    """Raised when the Turing machine violates the required normal form."""
+
+
+class _Encoder:
+    """Stateful helper that assembles the instruction set ``∆(M)``."""
+
+    def __init__(self, machine: TuringMachine) -> None:
+        self.machine = machine
+        self.logical: List[LogicalSymbol] = self._logical_alphabet()
+        self.cell0: Dict[LogicalSymbol, RWSymbol] = {
+            value: tape0(f"{_logical_name(value)}·0") for value in self.logical
+        }
+        self.cell1: Dict[LogicalSymbol, RWSymbol] = {
+            value: tape1(f"{_logical_name(value)}·1") for value in self.logical
+        }
+        self.left0 = state("L0", SymbolKind.STATE_LEFT_0)
+        self.left1 = state("L1", SymbolKind.STATE_LEFT_1)
+        self.gamma0 = state("G0", SymbolKind.STATE_GAMMA_0)
+        self.gamma1 = state("G1", SymbolKind.STATE_GAMMA_1)
+        self._sweep_states: List[SweepState] = self._sweep_state_space()
+        self.right0: Dict[SweepState, RWSymbol] = {
+            s: state(f"R0⟨{self._sweep_name(s)}⟩", SymbolKind.STATE_RIGHT_0)
+            for s in self._sweep_states
+        }
+        self.right1: Dict[SweepState, RWSymbol] = {
+            s: state(f"R1⟨{self._sweep_name(s)}⟩", SymbolKind.STATE_RIGHT_1)
+            for s in self._sweep_states
+        }
+
+    # ------------------------------------------------------------------
+    def _logical_alphabet(self) -> List[LogicalSymbol]:
+        symbols: List[LogicalSymbol] = [VIRGIN]
+        symbols.extend(sorted(self.machine.tape_alphabet()))
+        for tm_state in sorted(self.machine.states()):
+            for symbol in sorted(self.machine.tape_alphabet()):
+                symbols.append(Marker(tm_state, symbol))
+        return symbols
+
+    def _sweep_state_space(self) -> List[SweepState]:
+        states: List[SweepState] = []
+        marks: List[Optional[str]] = [None] + sorted(self.machine.states())
+        for buffer in self.logical:
+            for mark in marks:
+                states.append(SweepState(buffer, mark))
+        return states
+
+    @staticmethod
+    def _sweep_name(sweep: SweepState) -> str:
+        mark = sweep.mark_with or "·"
+        return f"{_logical_name(sweep.buffer)},{mark}"
+
+    # ------------------------------------------------------------------
+    # The logical transducer (one TM step per cycle)
+    # ------------------------------------------------------------------
+    def initial_sweep_state(self, consumed: LogicalSymbol) -> Optional[SweepState]:
+        """The right-sweep state chosen by ♦6/♦6′ after consuming *consumed*.
+
+        ``None`` means "no instruction": the rainworm halts, which happens
+        exactly when the consumed cell carries a halted TM head.
+        """
+        if consumed == VIRGIN:
+            # The very first cycle: seed the TM's initial head on a blank.
+            return SweepState(Marker(self.machine.initial_state, self.machine.blank))
+        if isinstance(consumed, Marker):
+            rule = self.machine.transition(consumed.state, consumed.symbol)
+            if rule is None:
+                return None
+            if rule.move is Move.LEFT:
+                # The head sits on the leftmost cell; a left move falls off
+                # the tape.  Machines in the required normal form never do
+                # this, so the missing instruction is unreachable.
+                return None
+            return SweepState(rule.write, rule.next_state)
+        return SweepState(consumed)
+
+    def read_cell(
+        self, sweep: SweepState, value: LogicalSymbol
+    ) -> Optional[Tuple[LogicalSymbol, SweepState]]:
+        """One delay-line step: output a cell and move to the next sweep state."""
+        if sweep.mark_with is not None:
+            marked = Marker(sweep.mark_with, _tape_value(value, self.machine.blank))
+            return sweep.buffer, SweepState(marked)
+        if isinstance(value, Marker):
+            rule = self.machine.transition(value.state, value.symbol)
+            if rule is None:
+                return None
+            if rule.move is Move.RIGHT:
+                return sweep.buffer, SweepState(rule.write, rule.next_state)
+            # Left move: the head lands on the cell currently held in the buffer.
+            marked_buffer = Marker(
+                rule.next_state, _tape_value(sweep.buffer, self.machine.blank)
+            )
+            return marked_buffer, SweepState(rule.write)
+        return sweep.buffer, SweepState(value)
+
+    def flush(self, sweep: SweepState) -> Optional[LogicalSymbol]:
+        """The cell appended by ♦8 (undefined when a marker placement is pending)."""
+        if sweep.mark_with is not None:
+            return None
+        return sweep.buffer
+
+    # ------------------------------------------------------------------
+    # Instruction assembly
+    # ------------------------------------------------------------------
+    def instructions(self) -> List[Instruction]:
+        result: List[Instruction] = [
+            Instruction(InstructionForm.D1, (ETA11,), (GAMMA1, ETA0)),
+            Instruction(InstructionForm.D2, (ETA0,), (self.cell0[VIRGIN], ETA1)),
+            Instruction(InstructionForm.D3, (ETA1,), (self.left1, OMEGA0)),
+            Instruction(InstructionForm.D5, (GAMMA1, self.left0), (BETA1, self.gamma0)),
+            Instruction(InstructionForm.D5P, (GAMMA0, self.left1), (BETA0, self.gamma1)),
+        ]
+        # Identity left sweep (♦4 / ♦4′) for every logical cell.
+        for value in self.logical:
+            result.append(
+                Instruction(
+                    InstructionForm.D4,
+                    (self.cell1[value], self.left0),
+                    (self.left1, self.cell0[value]),
+                )
+            )
+            result.append(
+                Instruction(
+                    InstructionForm.D4P,
+                    (self.cell0[value], self.left1),
+                    (self.left0, self.cell1[value]),
+                )
+            )
+        # Rear consumption (♦6 / ♦6′).
+        for value in self.logical:
+            initial = self.initial_sweep_state(value)
+            if initial is None:
+                continue
+            result.append(
+                Instruction(
+                    InstructionForm.D6,
+                    (self.gamma1, self.cell0[value]),
+                    (GAMMA1, self.right0[initial]),
+                )
+            )
+            result.append(
+                Instruction(
+                    InstructionForm.D6P,
+                    (self.gamma0, self.cell1[value]),
+                    (GAMMA0, self.right1[initial]),
+                )
+            )
+        # The right sweep (♦7 / ♦7′).
+        for sweep in self._sweep_states:
+            for value in self.logical:
+                outcome = self.read_cell(sweep, value)
+                if outcome is None:
+                    continue
+                output, successor = outcome
+                result.append(
+                    Instruction(
+                        InstructionForm.D7,
+                        (self.right1[sweep], self.cell0[value]),
+                        (self.cell1[output], self.right0[successor]),
+                    )
+                )
+                result.append(
+                    Instruction(
+                        InstructionForm.D7P,
+                        (self.right0[sweep], self.cell1[value]),
+                        (self.cell0[output], self.right1[successor]),
+                    )
+                )
+        # Flushing the delay line (♦8).
+        for sweep in self._sweep_states:
+            flushed = self.flush(sweep)
+            if flushed is None:
+                continue
+            result.append(
+                Instruction(
+                    InstructionForm.D8,
+                    (self.right1[sweep], OMEGA0),
+                    (self.cell1[flushed], ETA0),
+                )
+            )
+        return result
+
+
+def rainworm_from_turing(
+    machine: TuringMachine, name: str = ""
+) -> RainwormMachine:
+    """Compile a Turing machine into a rainworm machine (see the module docstring)."""
+    encoder = _Encoder(machine)
+    return RainwormMachine(name or f"rainworm({machine.name})", encoder.instructions())
+
+
+def encoding_statistics(machine: TuringMachine) -> Dict[str, int]:
+    """Size statistics of the compiled rainworm (used by the benchmarks)."""
+    compiled = rainworm_from_turing(machine)
+    return {
+        "tm_states": len(machine.states()),
+        "tm_symbols": len(machine.tape_alphabet()),
+        "rainworm_instructions": compiled.instruction_count(),
+        "rainworm_symbols": len(compiled.symbols()),
+    }

@@ -1,0 +1,117 @@
+"""A small library of concrete rainworm machines.
+
+The paper never exhibits a concrete ``∆`` — it only needs the existence of
+machines whose creeping behaviour is undecidable.  For experiments we want
+actual machines of both kinds:
+
+* :func:`forever_creeping_machine` — the minimal machine that performs the
+  creep cycle of Section VIII.A forever (one tape symbol per parity class,
+  one state per class, one instruction of every form);
+* :func:`immediately_halting_machine` — halts after the mandatory ♦1 step;
+* :func:`halting_example_machine` / :func:`looping_example_machine` —
+  machines obtained from concrete Turing machines through the
+  :mod:`repro.rainworm.encoding` compiler, which exercise the full creep
+  cycle a configurable number of times before halting (or never halt).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .machine import (
+    BETA0,
+    BETA1,
+    ETA0,
+    ETA1,
+    ETA11,
+    GAMMA0,
+    GAMMA1,
+    OMEGA0,
+    Instruction,
+    InstructionForm,
+    RainwormMachine,
+    SymbolKind,
+    state,
+    tape0,
+    tape1,
+)
+
+
+def _full_cycle_instructions() -> List[Instruction]:
+    """One instruction of every form, wired into an everlasting creep cycle."""
+    a0 = tape0("a0")
+    a1 = tape1("a1")
+    left0 = state("l0", SymbolKind.STATE_LEFT_0)
+    left1 = state("l1", SymbolKind.STATE_LEFT_1)
+    g0 = state("g0", SymbolKind.STATE_GAMMA_0)
+    g1 = state("g1", SymbolKind.STATE_GAMMA_1)
+    r0 = state("r0", SymbolKind.STATE_RIGHT_0)
+    r1 = state("r1", SymbolKind.STATE_RIGHT_1)
+    return [
+        Instruction(InstructionForm.D1, (ETA11,), (GAMMA1, ETA0)),
+        Instruction(InstructionForm.D2, (ETA0,), (a0, ETA1)),
+        Instruction(InstructionForm.D3, (ETA1,), (left1, OMEGA0)),
+        Instruction(InstructionForm.D4, (a1, left0), (left1, a0)),
+        Instruction(InstructionForm.D4P, (a0, left1), (left0, a1)),
+        Instruction(InstructionForm.D5, (GAMMA1, left0), (BETA1, g0)),
+        Instruction(InstructionForm.D5P, (GAMMA0, left1), (BETA0, g1)),
+        Instruction(InstructionForm.D6, (g1, a0), (GAMMA1, r0)),
+        Instruction(InstructionForm.D6P, (g0, a1), (GAMMA0, r1)),
+        Instruction(InstructionForm.D7, (r1, a0), (a1, r0)),
+        Instruction(InstructionForm.D7P, (r0, a1), (a0, r1)),
+        Instruction(InstructionForm.D8, (r1, OMEGA0), (a1, ETA0)),
+    ]
+
+
+def forever_creeping_machine() -> RainwormMachine:
+    """The minimal machine that creeps forever (uses every instruction form)."""
+    return RainwormMachine("forever", _full_cycle_instructions())
+
+
+def immediately_halting_machine() -> RainwormMachine:
+    """A machine that halts right after the mandatory ♦1 step."""
+    return RainwormMachine(
+        "halt-immediately",
+        [Instruction(InstructionForm.D1, (ETA11,), (GAMMA1, ETA0))],
+    )
+
+
+def halting_after_two_cycles_machine() -> RainwormMachine:
+    """A machine that completes two creep cycles and then gets stuck.
+
+    It is the forever-creeping machine with the single ♦7′ instruction
+    removed: the first time the right sweep meets an odd cell the worm has
+    no applicable rule any more.  The resulting final configuration ``u_M``
+    has a non-trivial slime trail, which makes this the standard input of
+    the Section VIII.E counter-model construction in tests and benchmarks.
+    """
+    instructions = [
+        instruction
+        for instruction in _full_cycle_instructions()
+        if instruction.form is not InstructionForm.D7P
+    ]
+    return RainwormMachine("halt-after-two-cycles", instructions)
+
+
+def halting_example_machine(tm_steps: int = 3) -> RainwormMachine:
+    """A rainworm compiled from a Turing machine that halts after *tm_steps* steps.
+
+    The machine performs roughly one full creep cycle per simulated TM step
+    and then gets stuck, so it exercises every instruction form before
+    halting — exactly what the counter-model construction of Section VIII.E
+    needs as input.
+    """
+    from .encoding import rainworm_from_turing
+    from .turing import bounded_counter_machine
+
+    return rainworm_from_turing(
+        bounded_counter_machine(tm_steps), name=f"halting-after-{tm_steps}-tm-steps"
+    )
+
+
+def looping_example_machine() -> RainwormMachine:
+    """A rainworm compiled from a Turing machine that never halts."""
+    from .encoding import rainworm_from_turing
+    from .turing import forever_walking_machine
+
+    return rainworm_from_turing(forever_walking_machine(), name="looping-tm")

@@ -1,0 +1,348 @@
+"""Rainworm machines (Section VIII.A).
+
+A rainworm machine (RM) is a variant of an oblivious Turing machine whose
+"head" sits *between* two consecutive cells.  It is described by
+
+* a finite set of states ``Q``, the disjoint union of six classes
+  ``Q⃗0, Q⃗1`` (right-moving, even/odd), ``Q⃖0, Q⃖1`` (left-moving) and
+  ``Qγ0, Qγ1``, plus the three special symbols ``η11, η0, η1``;
+* a finite tape alphabet ``A``, the disjoint union of ``A0`` (even cells),
+  ``A1`` (odd cells) and the special symbols ``α, β0, β1, γ0, γ1, ω0``;
+* a set ``∆`` of instructions, each of one of the twelve forms ♦1–♦8 / ♦′,
+  required to be a *partial function* (no two instructions share a left-hand
+  side) — rainworm machines are deterministic.
+
+A configuration is a word over ``A + Q`` (Definition 19); computation is Thue
+semi-system rewriting, one instruction application per step.  The initial
+configuration is ``α η11``.
+
+Symbols are plain named objects with a *kind*; the kind determines the class
+membership and the parity used by Definition 19 and by the parity glasses of
+the green-graph encoding.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, FrozenSet, Iterable, List, Optional, Sequence, Tuple
+
+from ..greengraph.labels import Label, Parity
+
+
+class SymbolKind(Enum):
+    """The classes a rainworm symbol can belong to."""
+
+    TAPE_0 = "A0"            # even tape cells
+    TAPE_1 = "A1"            # odd tape cells
+    STATE_RIGHT_0 = "Q>0"    # right-moving even states
+    STATE_RIGHT_1 = "Q>1"    # right-moving odd states
+    STATE_LEFT_0 = "Q<0"     # left-moving even states
+    STATE_LEFT_1 = "Q<1"     # left-moving odd states
+    STATE_GAMMA_0 = "Qg0"    # even "just turned at the rear" states
+    STATE_GAMMA_1 = "Qg1"    # odd "just turned at the rear" states
+    ALPHA = "α"
+    BETA_0 = "β0"
+    BETA_1 = "β1"
+    GAMMA_0 = "γ0"
+    GAMMA_1 = "γ1"
+    OMEGA_0 = "ω0"
+    ETA_11 = "η11"
+    ETA_0 = "η0"
+    ETA_1 = "η1"
+
+
+#: Kinds whose symbols count as machine states (head symbols).
+STATE_KINDS = frozenset(
+    {
+        SymbolKind.STATE_RIGHT_0,
+        SymbolKind.STATE_RIGHT_1,
+        SymbolKind.STATE_LEFT_0,
+        SymbolKind.STATE_LEFT_1,
+        SymbolKind.STATE_GAMMA_0,
+        SymbolKind.STATE_GAMMA_1,
+        SymbolKind.ETA_11,
+        SymbolKind.ETA_0,
+        SymbolKind.ETA_1,
+    }
+)
+
+#: Kinds classified as *even* by Definition 19 (ω0 is even by alternation).
+EVEN_KINDS = frozenset(
+    {
+        SymbolKind.ALPHA,
+        SymbolKind.BETA_0,
+        SymbolKind.GAMMA_0,
+        SymbolKind.ETA_0,
+        SymbolKind.OMEGA_0,
+        SymbolKind.STATE_RIGHT_0,
+        SymbolKind.STATE_LEFT_0,
+        SymbolKind.STATE_GAMMA_0,
+        SymbolKind.TAPE_0,
+    }
+)
+
+#: Kinds classified as *odd* by Definition 19.
+ODD_KINDS = frozenset(
+    {
+        SymbolKind.BETA_1,
+        SymbolKind.GAMMA_1,
+        SymbolKind.ETA_1,
+        SymbolKind.ETA_11,
+        SymbolKind.STATE_RIGHT_1,
+        SymbolKind.STATE_LEFT_1,
+        SymbolKind.STATE_GAMMA_1,
+        SymbolKind.TAPE_1,
+    }
+)
+
+
+@dataclass(frozen=True, order=True)
+class RWSymbol:
+    """A single rainworm symbol (a state or a tape cell)."""
+
+    name: str
+    kind: SymbolKind
+
+    @property
+    def is_state(self) -> bool:
+        """True for head symbols (states and the η specials)."""
+        return self.kind in STATE_KINDS
+
+    @property
+    def is_tape(self) -> bool:
+        """True for tape symbols (A0, A1 and the special cells)."""
+        return not self.is_state
+
+    @property
+    def is_even(self) -> bool:
+        """Definition 19 parity."""
+        return self.kind in EVEN_KINDS
+
+    @property
+    def is_odd(self) -> bool:
+        """Definition 19 parity."""
+        return self.kind in ODD_KINDS
+
+    def label(self) -> Label:
+        """The green-graph label of this symbol (Section VIII.C)."""
+        return Label(self.name, Parity.ODD if self.is_odd else Parity.EVEN)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+# The fixed special symbols shared by every rainworm machine.
+ALPHA = RWSymbol("α", SymbolKind.ALPHA)
+BETA0 = RWSymbol("β0", SymbolKind.BETA_0)
+BETA1 = RWSymbol("β1", SymbolKind.BETA_1)
+GAMMA0 = RWSymbol("γ0", SymbolKind.GAMMA_0)
+GAMMA1 = RWSymbol("γ1", SymbolKind.GAMMA_1)
+OMEGA0 = RWSymbol("ω0", SymbolKind.OMEGA_0)
+ETA11 = RWSymbol("η11", SymbolKind.ETA_11)
+ETA0 = RWSymbol("η0", SymbolKind.ETA_0)
+ETA1 = RWSymbol("η1", SymbolKind.ETA_1)
+
+SPECIAL_SYMBOLS: Tuple[RWSymbol, ...] = (
+    ALPHA,
+    BETA0,
+    BETA1,
+    GAMMA0,
+    GAMMA1,
+    OMEGA0,
+    ETA11,
+    ETA0,
+    ETA1,
+)
+
+
+class InstructionForm(Enum):
+    """The twelve instruction forms of Section VIII.A."""
+
+    D1 = "♦1"      # η11 ⇒ γ1 η0
+    D2 = "♦2"      # η0 ⇒ b η1,             b ∈ A0
+    D3 = "♦3"      # η1 ⇒ q ω0,             q ∈ Q⃖1
+    D4 = "♦4"      # b′ q ⇒ q′ b,           q ∈ Q⃖0, q′ ∈ Q⃖1, b ∈ A0, b′ ∈ A1
+    D4P = "♦4′"    # b q′ ⇒ q b′,           (same classes)
+    D5 = "♦5"      # γ1 q ⇒ β1 q′,          q ∈ Q⃖0, q′ ∈ Qγ0
+    D5P = "♦5′"    # γ0 q ⇒ β0 q′,          q ∈ Q⃖1, q′ ∈ Qγ1
+    D6 = "♦6"      # q b ⇒ γ1 q′,           q ∈ Qγ1, q′ ∈ Q⃗0, b ∈ A0
+    D6P = "♦6′"    # q b ⇒ γ0 q′,           q ∈ Qγ0, q′ ∈ Q⃗1, b ∈ A1
+    D7 = "♦7"      # q′ b ⇒ b′ q,           q ∈ Q⃗0, q′ ∈ Q⃗1, b ∈ A0, b′ ∈ A1
+    D7P = "♦7′"    # q b′ ⇒ b q′,           (same classes)
+    D8 = "♦8"      # q ω0 ⇒ b η0,           q ∈ Q⃗1, b ∈ A1
+
+
+class RainwormError(ValueError):
+    """Raised for malformed rainworm machines or instructions."""
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """One Thue rewrite rule ``lhs ⇒ rhs`` of a declared form."""
+
+    form: InstructionForm
+    lhs: Tuple[RWSymbol, ...]
+    rhs: Tuple[RWSymbol, ...]
+
+    def __post_init__(self) -> None:
+        _validate_instruction(self)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        left = " ".join(s.name for s in self.lhs)
+        right = " ".join(s.name for s in self.rhs)
+        return f"[{self.form.value}] {left} ⇒ {right}"
+
+
+def _expect(condition: bool, message: str) -> None:
+    if not condition:
+        raise RainwormError(message)
+
+
+def _validate_instruction(instruction: Instruction) -> None:
+    form, lhs, rhs = instruction.form, instruction.lhs, instruction.rhs
+    kinds_l = tuple(s.kind for s in lhs)
+    kinds_r = tuple(s.kind for s in rhs)
+    if form is InstructionForm.D1:
+        _expect(kinds_l == (SymbolKind.ETA_11,), "♦1 must rewrite η11")
+        _expect(kinds_r == (SymbolKind.GAMMA_1, SymbolKind.ETA_0), "♦1 must produce γ1 η0")
+    elif form is InstructionForm.D2:
+        _expect(kinds_l == (SymbolKind.ETA_0,), "♦2 must rewrite η0")
+        _expect(
+            kinds_r == (SymbolKind.TAPE_0, SymbolKind.ETA_1),
+            "♦2 must produce b η1 with b ∈ A0",
+        )
+    elif form is InstructionForm.D3:
+        _expect(kinds_l == (SymbolKind.ETA_1,), "♦3 must rewrite η1")
+        _expect(
+            kinds_r == (SymbolKind.STATE_LEFT_1, SymbolKind.OMEGA_0),
+            "♦3 must produce q ω0 with q ∈ Q⃖1",
+        )
+    elif form is InstructionForm.D4:
+        _expect(
+            kinds_l == (SymbolKind.TAPE_1, SymbolKind.STATE_LEFT_0)
+            and kinds_r == (SymbolKind.STATE_LEFT_1, SymbolKind.TAPE_0),
+            "♦4 must be b′ q ⇒ q′ b with q ∈ Q⃖0, q′ ∈ Q⃖1, b ∈ A0, b′ ∈ A1",
+        )
+    elif form is InstructionForm.D4P:
+        _expect(
+            kinds_l == (SymbolKind.TAPE_0, SymbolKind.STATE_LEFT_1)
+            and kinds_r == (SymbolKind.STATE_LEFT_0, SymbolKind.TAPE_1),
+            "♦4′ must be b q′ ⇒ q b′ with q ∈ Q⃖0, q′ ∈ Q⃖1, b ∈ A0, b′ ∈ A1",
+        )
+    elif form is InstructionForm.D5:
+        _expect(
+            kinds_l == (SymbolKind.GAMMA_1, SymbolKind.STATE_LEFT_0)
+            and kinds_r == (SymbolKind.BETA_1, SymbolKind.STATE_GAMMA_0),
+            "♦5 must be γ1 q ⇒ β1 q′ with q ∈ Q⃖0, q′ ∈ Qγ0",
+        )
+    elif form is InstructionForm.D5P:
+        _expect(
+            kinds_l == (SymbolKind.GAMMA_0, SymbolKind.STATE_LEFT_1)
+            and kinds_r == (SymbolKind.BETA_0, SymbolKind.STATE_GAMMA_1),
+            "♦5′ must be γ0 q ⇒ β0 q′ with q ∈ Q⃖1, q′ ∈ Qγ1",
+        )
+    elif form is InstructionForm.D6:
+        _expect(
+            kinds_l == (SymbolKind.STATE_GAMMA_1, SymbolKind.TAPE_0)
+            and kinds_r == (SymbolKind.GAMMA_1, SymbolKind.STATE_RIGHT_0),
+            "♦6 must be q b ⇒ γ1 q′ with q ∈ Qγ1, q′ ∈ Q⃗0, b ∈ A0",
+        )
+    elif form is InstructionForm.D6P:
+        _expect(
+            kinds_l == (SymbolKind.STATE_GAMMA_0, SymbolKind.TAPE_1)
+            and kinds_r == (SymbolKind.GAMMA_0, SymbolKind.STATE_RIGHT_1),
+            "♦6′ must be q b ⇒ γ0 q′ with q ∈ Qγ0, q′ ∈ Q⃗1, b ∈ A1",
+        )
+    elif form is InstructionForm.D7:
+        _expect(
+            kinds_l == (SymbolKind.STATE_RIGHT_1, SymbolKind.TAPE_0)
+            and kinds_r == (SymbolKind.TAPE_1, SymbolKind.STATE_RIGHT_0),
+            "♦7 must be q′ b ⇒ b′ q with q ∈ Q⃗0, q′ ∈ Q⃗1, b ∈ A0, b′ ∈ A1",
+        )
+    elif form is InstructionForm.D7P:
+        _expect(
+            kinds_l == (SymbolKind.STATE_RIGHT_0, SymbolKind.TAPE_1)
+            and kinds_r == (SymbolKind.TAPE_0, SymbolKind.STATE_RIGHT_1),
+            "♦7′ must be q b′ ⇒ b q′ with q ∈ Q⃗0, q′ ∈ Q⃗1, b ∈ A0, b′ ∈ A1",
+        )
+    elif form is InstructionForm.D8:
+        _expect(
+            kinds_l == (SymbolKind.STATE_RIGHT_1, SymbolKind.OMEGA_0)
+            and kinds_r == (SymbolKind.TAPE_1, SymbolKind.ETA_0),
+            "♦8 must be q ω0 ⇒ b η0 with q ∈ Q⃗1, b ∈ A1",
+        )
+    else:  # pragma: no cover - exhaustive
+        raise RainwormError(f"unknown instruction form {form!r}")
+
+
+@dataclass
+class RainwormMachine:
+    """A rainworm machine: its name, its symbols and its instruction set ``∆``."""
+
+    name: str
+    instructions: Tuple[Instruction, ...] = ()
+    _by_lhs: Dict[Tuple[RWSymbol, ...], Instruction] = field(
+        default_factory=dict, repr=False
+    )
+
+    def __init__(self, name: str, instructions: Iterable[Instruction]) -> None:
+        self.name = name
+        self.instructions = tuple(instructions)
+        self._by_lhs = {}
+        for instruction in self.instructions:
+            if instruction.lhs in self._by_lhs:
+                raise RainwormError(
+                    f"∆ must be a partial function: duplicate left-hand side "
+                    f"{instruction.lhs!r}"
+                )
+            self._by_lhs[instruction.lhs] = instruction
+
+    # ------------------------------------------------------------------
+    def instruction_for(self, lhs: Sequence[RWSymbol]) -> Optional[Instruction]:
+        """The unique instruction with the given left-hand side, if any."""
+        return self._by_lhs.get(tuple(lhs))
+
+    def symbols(self) -> FrozenSet[RWSymbol]:
+        """Every symbol mentioned by ∆ plus the fixed special symbols."""
+        result = set(SPECIAL_SYMBOLS)
+        for instruction in self.instructions:
+            result.update(instruction.lhs)
+            result.update(instruction.rhs)
+        return frozenset(result)
+
+    def tape_symbols(self, kind: SymbolKind) -> FrozenSet[RWSymbol]:
+        """The symbols of one class (e.g. ``A0``)."""
+        return frozenset(s for s in self.symbols() if s.kind is kind)
+
+    def states(self) -> FrozenSet[RWSymbol]:
+        """All state symbols of the machine."""
+        return frozenset(s for s in self.symbols() if s.is_state)
+
+    def initial_configuration(self) -> Tuple[RWSymbol, ...]:
+        """``α η11``."""
+        return (ALPHA, ETA11)
+
+    def instruction_count(self) -> int:
+        """``|∆|``."""
+        return len(self.instructions)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RainwormMachine {self.name}: {len(self.instructions)} instructions>"
+
+
+def tape0(name: str) -> RWSymbol:
+    """A tape symbol of class ``A0``."""
+    return RWSymbol(name, SymbolKind.TAPE_0)
+
+
+def tape1(name: str) -> RWSymbol:
+    """A tape symbol of class ``A1``."""
+    return RWSymbol(name, SymbolKind.TAPE_1)
+
+
+def state(name: str, kind: SymbolKind) -> RWSymbol:
+    """A state symbol of the given class."""
+    if kind not in STATE_KINDS:
+        raise RainwormError(f"{kind} is not a state kind")
+    return RWSymbol(name, kind)

@@ -1,0 +1,109 @@
+"""From rainworm instructions to green graph rewriting rules (Section VIII.C).
+
+For a rainworm machine ``∆`` the rule set ``T_M`` contains
+
+* ``∅ &·· ∅ ] α &·· η11`` and ``η11 /·· ∅ ] γ1 /·· η0``;
+* ``η0 &·· ∅ ] b &·· η1`` for every instruction ``η0 ⇒ b η1`` (♦2);
+* ``η1 /·· ∅ ] q /·· ω0`` for every instruction ``η1 ⇒ q ω0`` (♦3);
+* ``x /·· t ] x′ /·· t′`` for every instruction ``x t ⇒ x′ t′`` of one of the
+  forms ♦4, ♦5, ♦6, ♦7, ♦8;
+* ``x &·· t ] x′ &·· t′`` for every instruction of one of the forms
+  ♦4′, ♦5′, ♦6′, ♦7′.
+
+The labels of the resulting green graph rules are exactly the rainworm
+symbols (with their Definition 19 parity), so the slime trail of the worm
+becomes an αβ-path that the grid rule set ``T□`` can measure.  The complete
+rule set of the Theorem 5 reduction is ``T_M ∪ T□`` (Lemma 24).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from ..greengraph.labels import EMPTY, Label
+from ..greengraph.rules import GreenGraphRule, GreenGraphRuleSet, and_rule, div_rule
+from ..separating.grid_rules import grid_rules
+from .machine import Instruction, InstructionForm, RainwormMachine
+
+#: Instruction forms translated into ``/··`` rules (shared source).
+_DIV_FORMS = frozenset(
+    {
+        InstructionForm.D4,
+        InstructionForm.D5,
+        InstructionForm.D6,
+        InstructionForm.D7,
+        InstructionForm.D8,
+    }
+)
+
+#: Instruction forms translated into ``&··`` rules (shared target).
+_AND_FORMS = frozenset(
+    {
+        InstructionForm.D4P,
+        InstructionForm.D5P,
+        InstructionForm.D6P,
+        InstructionForm.D7P,
+    }
+)
+
+
+def _label(symbol) -> Label:
+    return symbol.label()
+
+
+def _base_rules(machine: RainwormMachine) -> List[GreenGraphRule]:
+    """The two fixed rules plus the ♦1 bookkeeping."""
+    from .machine import ALPHA, ETA0, ETA11, GAMMA1
+
+    return [
+        and_rule(EMPTY, EMPTY, _label(ALPHA), _label(ETA11), name=f"{machine.name}::start"),
+        div_rule(
+            _label(ETA11), EMPTY, _label(GAMMA1), _label(ETA0), name=f"{machine.name}::♦1"
+        ),
+    ]
+
+
+def rule_for_instruction(
+    machine: RainwormMachine, instruction: Instruction
+) -> GreenGraphRule:
+    """The single green graph rule encoding one rainworm instruction."""
+    name = f"{machine.name}::{instruction!r}"
+    if instruction.form is InstructionForm.D1:
+        raise ValueError("♦1 is covered by the two fixed rules of T_M")
+    if instruction.form is InstructionForm.D2:
+        (eta0,) = instruction.lhs
+        cell, eta1 = instruction.rhs
+        return and_rule(_label(eta0), EMPTY, _label(cell), _label(eta1), name=name)
+    if instruction.form is InstructionForm.D3:
+        (eta1,) = instruction.lhs
+        head, omega = instruction.rhs
+        return div_rule(_label(eta1), EMPTY, _label(head), _label(omega), name=name)
+    first, second = instruction.lhs
+    third, fourth = instruction.rhs
+    if instruction.form in _DIV_FORMS:
+        return div_rule(
+            _label(first), _label(second), _label(third), _label(fourth), name=name
+        )
+    if instruction.form in _AND_FORMS:
+        return and_rule(
+            _label(first), _label(second), _label(third), _label(fourth), name=name
+        )
+    raise ValueError(f"unhandled instruction form {instruction.form}")  # pragma: no cover
+
+
+def machine_rules(machine: RainwormMachine) -> GreenGraphRuleSet:
+    """``T_M`` (without the grid part) for a rainworm machine."""
+    rules: List[GreenGraphRule] = _base_rules(machine)
+    for instruction in machine.instructions:
+        if instruction.form is InstructionForm.D1:
+            continue
+        rules.append(rule_for_instruction(machine, instruction))
+    return GreenGraphRuleSet(rules, name=f"T_M({machine.name})")
+
+
+def reduction_rules(machine: RainwormMachine) -> GreenGraphRuleSet:
+    """``T_M ∪ T□``: the full rule set of the Theorem 5 reduction (Lemma 24)."""
+    return GreenGraphRuleSet(
+        list(machine_rules(machine).rules) + list(grid_rules().rules),
+        name=f"T_M({machine.name})∪T□",
+    )

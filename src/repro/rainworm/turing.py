@@ -1,0 +1,218 @@
+"""Deterministic single-tape Turing machines.
+
+Lemma 21 of the paper states that it is undecidable whether a given rainworm
+machine creeps forever, "easy to prove using textbook techniques".  To make
+the source of undecidability concrete, we implement the textbook object — a
+deterministic Turing machine over a one-way infinite tape — and, in
+:mod:`repro.rainworm.encoding`, a compiler from Turing machines to rainworm
+machines such that the rainworm creeps forever exactly when the Turing
+machine runs forever.
+
+Conventions (required by the encoding):
+
+* the tape is one-way infinite to the right, initially all blanks;
+* the machine is deterministic; a missing transition means "halt";
+* the machine never moves left from cell 0 (a standard normal form — every
+  TM can be converted to one by shifting its tape one cell to the right).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Dict, FrozenSet, List, Optional, Tuple
+
+
+class Move(Enum):
+    """Head movement directions."""
+
+    LEFT = "L"
+    RIGHT = "R"
+
+
+BLANK = "_"
+
+
+@dataclass(frozen=True)
+class TMTransition:
+    """One transition ``δ(state, read) = (next_state, write, move)``."""
+
+    next_state: str
+    write: str
+    move: Move
+
+
+class TuringMachine:
+    """A deterministic single-tape Turing machine (one-way infinite tape)."""
+
+    def __init__(
+        self,
+        name: str,
+        initial_state: str,
+        transitions: Dict[Tuple[str, str], TMTransition],
+        blank: str = BLANK,
+    ) -> None:
+        self.name = name
+        self.initial_state = initial_state
+        self.blank = blank
+        self._transitions = dict(transitions)
+
+    # ------------------------------------------------------------------
+    @property
+    def transitions(self) -> Dict[Tuple[str, str], TMTransition]:
+        """The transition table."""
+        return dict(self._transitions)
+
+    def transition(self, state: str, symbol: str) -> Optional[TMTransition]:
+        """``δ(state, symbol)``, or ``None`` when the machine halts there."""
+        return self._transitions.get((state, symbol))
+
+    def states(self) -> FrozenSet[str]:
+        """All states mentioned by the machine."""
+        result = {self.initial_state}
+        for (state, _), rule in self._transitions.items():
+            result.add(state)
+            result.add(rule.next_state)
+        return frozenset(result)
+
+    def tape_alphabet(self) -> FrozenSet[str]:
+        """All tape symbols mentioned by the machine (always includes the blank)."""
+        result = {self.blank}
+        for (_, read), rule in self._transitions.items():
+            result.add(read)
+            result.add(rule.write)
+        return frozenset(result)
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<TuringMachine {self.name}: {len(self._transitions)} transitions>"
+
+
+@dataclass(frozen=True)
+class TMConfiguration:
+    """A Turing machine configuration: tape contents, head position, state."""
+
+    state: str
+    tape: Tuple[str, ...]
+    head: int
+
+    def read(self, blank: str) -> str:
+        """The symbol under the head."""
+        if 0 <= self.head < len(self.tape):
+            return self.tape[self.head]
+        return blank
+
+
+def initial_tm_configuration(machine: TuringMachine) -> TMConfiguration:
+    """The initial configuration: empty tape, head on cell 0."""
+    return TMConfiguration(machine.initial_state, (), 0)
+
+
+def tm_step(
+    machine: TuringMachine, configuration: TMConfiguration
+) -> Optional[TMConfiguration]:
+    """One TM step, or ``None`` when the machine halts.
+
+    Raises ``RuntimeError`` on a left move from cell 0 (forbidden by the
+    normal form the encoding relies on).
+    """
+    symbol = configuration.read(machine.blank)
+    rule = machine.transition(configuration.state, symbol)
+    if rule is None:
+        return None
+    tape: List[str] = list(configuration.tape)
+    while len(tape) <= configuration.head:
+        tape.append(machine.blank)
+    tape[configuration.head] = rule.write
+    head = configuration.head + (1 if rule.move is Move.RIGHT else -1)
+    if head < 0:
+        raise RuntimeError(
+            f"{machine.name} moved left from cell 0 — not in the required normal form"
+        )
+    return TMConfiguration(rule.next_state, tuple(tape), head)
+
+
+def run_turing_machine(
+    machine: TuringMachine, max_steps: int
+) -> Tuple[List[TMConfiguration], bool]:
+    """Run for at most *max_steps* steps; return the trace and whether it halted."""
+    current = initial_tm_configuration(machine)
+    trace = [current]
+    for _ in range(max_steps):
+        successor = tm_step(machine, current)
+        if successor is None:
+            return trace, True
+        current = successor
+        trace.append(current)
+    return trace, False
+
+
+def tm_halts_within(machine: TuringMachine, max_steps: int) -> bool:
+    """Does the machine halt within *max_steps* steps (started on a blank tape)?"""
+    return run_turing_machine(machine, max_steps)[1]
+
+
+# ----------------------------------------------------------------------
+# Concrete example machines
+# ----------------------------------------------------------------------
+def bounded_counter_machine(steps: int) -> TuringMachine:
+    """A machine that writes ``1`` while walking right for *steps* cells, then halts."""
+    if steps < 1:
+        raise ValueError("need at least one step")
+    transitions: Dict[Tuple[str, str], TMTransition] = {}
+    for index in range(steps):
+        transitions[(f"q{index}", BLANK)] = TMTransition(f"q{index + 1}", "1", Move.RIGHT)
+    # q{steps} has no outgoing transition: the machine halts there.
+    return TuringMachine(f"count-{steps}", "q0", transitions)
+
+
+def forever_walking_machine() -> TuringMachine:
+    """A machine that walks right forever, alternating the symbols it writes."""
+    transitions = {
+        ("walk_a", BLANK): TMTransition("walk_b", "1", Move.RIGHT),
+        ("walk_b", BLANK): TMTransition("walk_a", "0", Move.RIGHT),
+        # If it ever re-reads its own output it keeps going as well.
+        ("walk_a", "1"): TMTransition("walk_a", "1", Move.RIGHT),
+        ("walk_a", "0"): TMTransition("walk_a", "0", Move.RIGHT),
+        ("walk_b", "1"): TMTransition("walk_b", "1", Move.RIGHT),
+        ("walk_b", "0"): TMTransition("walk_b", "0", Move.RIGHT),
+    }
+    return TuringMachine("forever-walk", "walk_a", transitions)
+
+
+def zigzag_machine(width: int) -> TuringMachine:
+    """A machine that bounces between cell 0 and cell *width* forever.
+
+    Exercises left moves in the encoding (the head marker travelling toward
+    the rainworm's rear) while still never halting.
+    """
+    if width < 1:
+        raise ValueError("width must be positive")
+    transitions: Dict[Tuple[str, str], TMTransition] = {}
+    for index in range(width):
+        for symbol in (BLANK, "x"):
+            transitions[(f"right{index}", symbol)] = TMTransition(
+                f"right{index + 1}" if index + 1 < width else "left0", "x", Move.RIGHT
+            )
+    for index in range(width):
+        for symbol in (BLANK, "x"):
+            transitions[(f"left{index}", symbol)] = TMTransition(
+                f"left{index + 1}" if index + 1 < width else "right0", "x", Move.LEFT
+            )
+    # Repair the boundary: from cell 0 we must never move left, so the last
+    # left state turns around by moving right instead.
+    for symbol in (BLANK, "x"):
+        transitions[(f"left{width - 1}", symbol)] = TMTransition("right0", "x", Move.RIGHT)
+    return TuringMachine(f"zigzag-{width}", "right0", transitions)
+
+
+def busy_little_machine() -> TuringMachine:
+    """A small machine with a non-trivial halting computation (several left/right moves)."""
+    transitions = {
+        ("s0", BLANK): TMTransition("s1", "1", Move.RIGHT),
+        ("s1", BLANK): TMTransition("s2", "1", Move.RIGHT),
+        ("s2", BLANK): TMTransition("s3", "0", Move.LEFT),
+        ("s3", "1"): TMTransition("s4", "0", Move.LEFT),
+        ("s4", "1"): TMTransition("s5", "1", Move.RIGHT),
+        # s5 reads "0" and has no transition: halt.
+    }
+    return TuringMachine("busy-little", "s0", transitions)

@@ -1,0 +1,18 @@
+"""The end-to-end Theorem 1 reduction: rainworm machine → CQfDP instance."""
+
+from .pipeline import ReductionInstance, reduce_machine
+from .theorem1 import (
+    CreepingEvidence,
+    HaltingEvidence,
+    creeping_direction_evidence,
+    halting_direction_evidence,
+)
+
+__all__ = [
+    "CreepingEvidence",
+    "HaltingEvidence",
+    "ReductionInstance",
+    "creeping_direction_evidence",
+    "halting_direction_evidence",
+    "reduce_machine",
+]

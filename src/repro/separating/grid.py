@@ -1,0 +1,112 @@
+"""Grid construction and inspection helpers (Section VII, Steps 2–3).
+
+Two situations are of interest:
+
+* **Merged paths** (Figure 2/3): two αβ-paths of *different* lengths sharing
+  their start and their endpoint — the configuration forced, by the chase
+  homomorphism, inside every finite model of a rule set containing ``T∞``.
+  Chasing ``T□`` over it builds the grid and, because the north-western
+  corner misses the diagonal, produces a 1-2 pattern (Lemma 17).
+* **A single path** (Figure 4): the grid-triggering rule fires even without
+  a merge (its two left-hand-side labels are equal), building the harmless
+  grids ``M_t`` that contain both ``1``-labelled and ``2``-labelled edges but
+  never a 1-2 pattern (Lemma 18).
+
+The functions here run those chases and report what was built.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+from ..greengraph.graph import GreenGraph
+from ..greengraph.labels import ONE, TWO
+from ..greengraph.rules import GreenGraphChase, GreenGraphRuleSet
+from .grid_rules import grid_rules
+from .t_infinity import build_two_merged_paths, figure1_graph
+
+#: Labels of the original αβ-path skeleton (everything else is grid "foam").
+SKELETON_LABEL_NAMES = frozenset({"∅", "α", "β0", "β1", "η0", "η1"})
+
+
+@dataclass
+class GridReport:
+    """What a grid-building chase produced."""
+
+    chase: GreenGraphChase
+    pattern_stage: Optional[int]
+    skeleton_edges: int
+    foam_edges: int
+    one_edges: int
+    two_edges: int
+
+    @property
+    def has_pattern(self) -> bool:
+        """Did a 1-2 pattern appear?"""
+        return self.pattern_stage is not None
+
+    def label_histogram(self) -> Dict[str, int]:
+        """Edge counts per label in the final graph."""
+        histogram: Dict[str, int] = {}
+        for edge in self.chase.graph().edges():
+            histogram[edge.label_name] = histogram.get(edge.label_name, 0) + 1
+        return histogram
+
+
+def _report(chase: GreenGraphChase) -> GridReport:
+    final = chase.graph()
+    skeleton = sum(
+        1 for edge in final.edges() if edge.label_name in SKELETON_LABEL_NAMES
+    )
+    foam = final.edge_count() - skeleton
+    return GridReport(
+        chase=chase,
+        pattern_stage=chase.first_stage_with_one_two_pattern(),
+        skeleton_edges=skeleton,
+        foam_edges=foam,
+        one_edges=sum(1 for _ in final.edges_with_label(ONE)),
+        two_edges=sum(1 for _ in final.edges_with_label(TWO)),
+    )
+
+
+def build_grid_on_merged_paths(
+    long_length: int,
+    short_length: int,
+    rules: Optional[GreenGraphRuleSet] = None,
+    max_stages: int = 24,
+    max_atoms: int = 80_000,
+) -> GridReport:
+    """Chase ``T□`` over two merged αβ-paths of different lengths (Figure 2/3)."""
+    rule_set = rules if rules is not None else grid_rules()
+    graph, _, _ = build_two_merged_paths(long_length, short_length)
+    chase = rule_set.chase(graph, max_stages=max_stages, max_atoms=max_atoms)
+    return _report(chase)
+
+
+def build_grid_on_single_path(
+    chase_stages: int,
+    rules: Optional[GreenGraphRuleSet] = None,
+    max_stages: int = 24,
+    max_atoms: int = 80_000,
+) -> GridReport:
+    """Chase ``T□`` over a single (un-merged) chase prefix of ``T∞`` (Figure 4)."""
+    rule_set = rules if rules is not None else grid_rules()
+    graph = figure1_graph(chase_stages)
+    chase = rule_set.chase(graph, max_stages=max_stages, max_atoms=max_atoms)
+    return _report(chase)
+
+
+def pattern_stage_by_path_length(
+    lengths: Tuple[Tuple[int, int], ...],
+    max_stages: int = 30,
+    max_atoms: int = 120_000,
+) -> Dict[Tuple[int, int], Optional[int]]:
+    """For each ``(long, short)`` pair, the chase stage at which the pattern appears."""
+    result: Dict[Tuple[int, int], Optional[int]] = {}
+    for long_length, short_length in lengths:
+        report = build_grid_on_merged_paths(
+            long_length, short_length, max_stages=max_stages, max_atoms=max_atoms
+        )
+        result[(long_length, short_length)] = report.pattern_stage
+    return result

@@ -1,0 +1,78 @@
+"""Finite approximations of the infinite model ``M`` of Lemma 18 (Step 3).
+
+Theorem 14's negative half needs an infinite green graph ``M`` containing
+``DI``, satisfying ``T = T∞ ∪ T□`` and containing no 1-2 pattern.  The paper
+builds it as ``chase(T∞, DI) ∪ ⋃_t M_t`` where ``M_t`` is the harmless grid
+grown from the ``t``-th β0-edge of the chase skeleton.
+
+An infinite object cannot be materialised, so this module provides
+
+* ``model_prefix(stages)`` — the chase of the *full* rule set ``T`` from
+  ``DI`` for a bounded number of stages.  Every such prefix is (the
+  interesting part of) an initial segment of ``M``; the paper's Lemma 18(1)
+  predicts that no prefix ever contains a 1-2 pattern, which is what the
+  tests and benchmarks check;
+* ``frontier_violations(...)`` — the rules that are *not yet* satisfied by a
+  prefix.  In the true infinite ``M`` there are none; in a prefix only the
+  "growing tip" may be open, and listing it makes the approximation honest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+from ..greengraph.graph import GreenGraph, initial_graph
+from ..greengraph.rules import GreenGraphChase, GreenGraphRuleSet
+from .grid_rules import separating_rules
+
+
+@dataclass
+class ModelPrefixReport:
+    """A bounded approximation of the Lemma 18 model and its health checks."""
+
+    chase: GreenGraphChase
+    pattern_stage: Optional[int]
+    violated_rules: List[str]
+
+    @property
+    def graph(self) -> GreenGraph:
+        """The approximated model."""
+        return self.chase.graph()
+
+    @property
+    def has_pattern(self) -> bool:
+        """Whether any prefix stage contained a 1-2 pattern (it never should)."""
+        return self.pattern_stage is not None
+
+
+def model_prefix(
+    stages: int,
+    rules: Optional[GreenGraphRuleSet] = None,
+    max_atoms: int = 120_000,
+    check_violations: bool = False,
+) -> ModelPrefixReport:
+    """Chase ``T = T∞ ∪ T□`` from ``DI`` for *stages* stages (Lemma 18 prefix)."""
+    rule_set = rules if rules is not None else separating_rules()
+    chase = rule_set.chase(initial_graph(), max_stages=stages, max_atoms=max_atoms)
+    violations: List[str] = []
+    if check_violations:
+        violations = rule_set.violated_rules(chase.graph())
+    return ModelPrefixReport(
+        chase=chase,
+        pattern_stage=chase.first_stage_with_one_two_pattern(),
+        violated_rules=violations,
+    )
+
+
+def pattern_free_depth(max_stages: int, max_atoms: int = 120_000) -> int:
+    """The number of prefix stages verified to be 1-2-pattern free.
+
+    Returns *max_stages* when no prefix up to the bound contains the pattern
+    (the expected outcome per Lemma 18), or the first offending stage
+    otherwise.
+    """
+    report = model_prefix(max_stages, max_atoms=max_atoms)
+    if report.pattern_stage is None:
+        return report.chase.stage_count()
+    return report.pattern_stage

@@ -1,0 +1,141 @@
+"""Theorem 14: the separating example, end to end.
+
+``T = T∞ ∪ T□`` does not lead to the red spider but finitely leads to it;
+equivalently (Observation 13 + Lemma 12) the conjunctive-query set
+``Q = Compile(Precompile(T))`` does not determine the boolean query
+``Q0 = ∃* dalt(I)`` in the unrestricted sense but finitely determines it.
+This was the first known example separating the two notions.
+
+Undecidability being what it is, a program can only gather *bounded
+evidence* for the two halves, and that is exactly what this module does:
+
+* **does not lead** — every bounded prefix of ``chase(T, DI)`` is free of
+  1-2 patterns (the infinite chase is the paper's model ``M`` in embryo);
+* **finitely leads** — whenever the infinite αβ-path is folded into a finite
+  graph (two path vertices identified, as every finite model must), the grid
+  machinery produces a 1-2 pattern.
+
+The module also materialises the instance ``(Q, Q0)`` at Abstraction
+Level 0, so that downstream users get actual conjunctive queries over an
+ordinary relational signature.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..core.query import ConjunctiveQuery
+from ..greengraph.precompile import precompile
+from ..greengraph.rules import GreenGraphRuleSet
+from ..spiders.anatomy import HEAD_PREDICATE, calf_predicate, thigh_predicate
+from ..spiders.ideal import SpiderUniverse
+from ..core.atoms import Atom
+from ..core.terms import Variable
+from ..swarm.compile import compile_rules, universe_for_rules
+from .grid import GridReport, build_grid_on_merged_paths
+from .grid_rules import separating_rules
+from .models import ModelPrefixReport, model_prefix
+
+
+# ----------------------------------------------------------------------
+# The instance (Q, Q0) at Level 0
+# ----------------------------------------------------------------------
+def full_green_spider_query(universe: SpiderUniverse, name: str = "Q0") -> ConjunctiveQuery:
+    """``Q0 = ∃* dalt(I)``: a boolean query asking for one full (uncoloured) spider."""
+    head = Variable("head")
+    tail = Variable("tail")
+    antenna = Variable("antenna")
+    atoms = [Atom(HEAD_PREDICATE, (head, tail, antenna))]
+    for leg in universe.legs:
+        for upper in (True, False):
+            side = "u" if upper else "l"
+            knee = Variable(f"knee_{side}_{leg}")
+            atoms.append(Atom(thigh_predicate(leg, upper), (head, knee)))
+            atoms.append(Atom(calf_predicate(leg, upper), (knee, _calf_end())))
+    return ConjunctiveQuery(name, (), atoms)
+
+
+def _calf_end():
+    from ..spiders.anatomy import CALF_END
+
+    return CALF_END
+
+
+@dataclass
+class SeparatingInstance:
+    """The conjunctive-query instance behind Theorem 14."""
+
+    rules: GreenGraphRuleSet
+    views: List[ConjunctiveQuery]
+    query: ConjunctiveQuery
+    universe: SpiderUniverse
+
+    def view_count(self) -> int:
+        """Number of view queries."""
+        return len(self.views)
+
+    def total_view_atoms(self) -> int:
+        """Total number of atoms across all view bodies."""
+        return sum(len(view.atoms) for view in self.views)
+
+
+def separating_instance(
+    rules: Optional[GreenGraphRuleSet] = None,
+) -> SeparatingInstance:
+    """Build ``(Q, Q0) = (Compile(Precompile(T)), ∃* dalt(I))`` explicitly."""
+    rule_set = rules if rules is not None else separating_rules()
+    level1 = precompile(rule_set)
+    universe = universe_for_rules(level1.rules)
+    views = compile_rules(level1, universe)
+    query = full_green_spider_query(universe)
+    return SeparatingInstance(
+        rules=rule_set, views=views, query=query, universe=universe
+    )
+
+
+# ----------------------------------------------------------------------
+# Bounded evidence for the two halves of Theorem 14
+# ----------------------------------------------------------------------
+@dataclass
+class Theorem14Evidence:
+    """Bounded evidence for both halves of Theorem 14."""
+
+    prefix: ModelPrefixReport
+    merged_reports: Tuple[GridReport, ...]
+
+    @property
+    def unrestricted_half_holds(self) -> bool:
+        """No 1-2 pattern in any explored prefix of ``chase(T, DI)``."""
+        return not self.prefix.has_pattern
+
+    @property
+    def finite_half_holds(self) -> bool:
+        """Every explored folded (finite-model-like) configuration produced the pattern."""
+        return all(report.has_pattern for report in self.merged_reports)
+
+    @property
+    def consistent_with_theorem(self) -> bool:
+        """Both halves of the bounded evidence agree with Theorem 14."""
+        return self.unrestricted_half_holds and self.finite_half_holds
+
+
+def gather_theorem14_evidence(
+    prefix_stages: int = 10,
+    merged_lengths: Tuple[Tuple[int, int], ...] = ((3, 2), (4, 2), (4, 3)),
+    max_atoms: int = 120_000,
+) -> Theorem14Evidence:
+    """Run both bounded experiments of Theorem 14 and collect the outcomes."""
+    rule_set = separating_rules()
+    prefix = model_prefix(prefix_stages, rules=rule_set, max_atoms=max_atoms)
+    merged = tuple(
+        build_grid_on_merged_paths(
+            long_length,
+            short_length,
+            rules=rule_set,
+            max_stages=prefix_stages + 2 * long_length + 8,
+            max_atoms=max_atoms,
+        )
+        for long_length, short_length in merged_lengths
+    )
+    return Theorem14Evidence(prefix=prefix, merged_reports=merged)

@@ -1,0 +1,119 @@
+"""The Rule of Spider Algebra ♣.
+
+Section V.B of the paper:
+
+    f^I_J (H^{I′}_{J′}) = I^{I\\I′}_{J\\J′}        (♣)
+
+The spider query ``f^I_J`` (seen as the TGD of the colour opposite to the
+argument spider) *matches* ``H^{I′}_{J′}`` if and only if ``I′ ⊆ I`` and
+``J′ ⊆ J``, and the spider it produces is ``I^{I\\I′}_{J\\J′}`` — the same
+with colours swapped.  This module implements ♣ as an executable operation on
+:class:`~repro.spiders.ideal.IdealSpider` objects; the Level-0 anatomy in
+:mod:`repro.spiders.anatomy` and :mod:`repro.spiders.queries` realises it
+concretely, and the property tests check that the two agree.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Tuple
+
+from .ideal import IdealSpider, SpiderError, SpiderUniverse
+
+
+@dataclass(frozen=True)
+class SpiderQuerySpec:
+    """The index sets ``(I, J)`` of a spider query ``f^I_J``."""
+
+    upper: FrozenSet[str]
+    lower: FrozenSet[str]
+
+    def __init__(
+        self,
+        upper: Iterable[str] | str | None = None,
+        lower: Iterable[str] | str | None = None,
+    ) -> None:
+        object.__setattr__(self, "upper", _normalise(upper))
+        object.__setattr__(self, "lower", _normalise(lower))
+
+    def key(self) -> str:
+        """Canonical identifier ``f^I_J``."""
+        up = ",".join(sorted(self.upper)) or "∅"
+        low = ",".join(sorted(self.lower)) or "∅"
+        return f"f^{up}_{low}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.key()
+
+
+def _normalise(index_set: Iterable[str] | str | None) -> FrozenSet[str]:
+    if index_set is None:
+        return frozenset()
+    if isinstance(index_set, str):
+        return frozenset([index_set])
+    return frozenset(index_set)
+
+
+def spider_query(
+    upper: Iterable[str] | str | None = None,
+    lower: Iterable[str] | str | None = None,
+) -> SpiderQuerySpec:
+    """Convenience constructor for ``f^I_J``."""
+    return SpiderQuerySpec(upper, lower)
+
+
+# ----------------------------------------------------------------------
+# The rule ♣
+# ----------------------------------------------------------------------
+def applies_to(query: SpiderQuerySpec, spider: IdealSpider) -> bool:
+    """Does ``f^I_J`` match *spider* according to ♣ (``I′ ⊆ I`` and ``J′ ⊆ J``)?"""
+    return spider.upper <= query.upper and spider.lower <= query.lower
+
+
+def apply_query(query: SpiderQuerySpec, spider: IdealSpider) -> IdealSpider:
+    """``f^I_J(S)`` — the spider produced by one application of the query.
+
+    Raises :class:`SpiderError` when the query does not match the spider.
+    The result has the opposite body colour and off-colour legs
+    ``I \\ I′`` / ``J \\ J′``.
+    """
+    if not applies_to(query, spider):
+        raise SpiderError(f"{query} does not apply to {spider}")
+    return IdealSpider(
+        spider.color.opposite(),
+        query.upper - spider.upper,
+        query.lower - spider.lower,
+    )
+
+
+def applicable_spiders(
+    query: SpiderQuerySpec, universe: SpiderUniverse
+) -> List[IdealSpider]:
+    """All ideal spiders of the universe that the query matches."""
+    return [spider for spider in universe.all_spiders() if applies_to(query, spider)]
+
+
+def application_table(
+    query: SpiderQuerySpec, universe: SpiderUniverse
+) -> List[Tuple[IdealSpider, IdealSpider]]:
+    """All pairs ``(S, f^I_J(S))`` over the universe — the ♣ multiplication table."""
+    return [
+        (spider, apply_query(query, spider))
+        for spider in applicable_spiders(query, universe)
+    ]
+
+
+def is_involutive_pair(
+    query: SpiderQuerySpec, spider: IdealSpider
+) -> bool:
+    """Does applying the query twice return to the original spider?
+
+    ♣ gives ``f^I_J(f^I_J(S)) = S`` whenever both applications are defined;
+    this helper states the invariant checked by the property tests.
+    """
+    if not applies_to(query, spider):
+        return False
+    once = apply_query(query, spider)
+    if not applies_to(query, once):
+        return False
+    return apply_query(query, once) == spider

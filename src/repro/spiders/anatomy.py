@@ -1,0 +1,226 @@
+"""Concrete spider anatomy at Abstraction Level 0.
+
+The PODS'16 paper inherits its spiders from [GM15] and only describes the
+interface they satisfy (Section V.B): a spider has ``2s`` legs (``s`` upper
+and ``s`` lower), an *antenna* and a *tail* not involved in the ♣ mechanism,
+and the colours of legs carry the ``I``/``J`` decorations.  This module is a
+reconstruction of a concrete anatomy that satisfies that interface:
+
+* one ternary *head* atom ``SpiderHead(head, tail, antenna)``;
+* for every leg index ``i ∈ S`` and every side (upper/lower) a *thigh* atom
+  ``UT[i](head, knee)`` / ``LT[i](head, knee)`` and a *calf* atom
+  ``UC[i](knee, end)`` / ``LC[i](knee, end)``, where ``end`` is a single
+  constant shared by every calf (footnote 27 of the paper's appendix);
+* the *body* (head atom and all thighs) carries the spider's colour, while a
+  calf carries the colour of its leg — so ``I^I_J`` has red calves exactly at
+  the upper legs in ``I`` and the lower legs in ``J``.
+
+With this anatomy the Rule of Spider Algebra ♣ is a *theorem* about the
+green-red TGDs of the spider queries (verified exhaustively by the property
+tests and by :mod:`benchmarks.bench_spider_algebra`), and the
+``compile``/``decompile`` translation of the paper's Appendix A goes through
+verbatim.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.signature import Signature
+from ..core.structure import Structure
+from ..core.terms import Constant
+from ..greenred.coloring import Color, color_of_name, dalt_name, paint_name
+from .ideal import IdealSpider, SpiderError, SpiderUniverse
+
+#: The constant shared by every calf (the "common end" of footnote 27).
+CALF_END = Constant("calf_end")
+
+HEAD_PREDICATE = "SpiderHead"
+
+
+def thigh_predicate(leg: str, upper: bool) -> str:
+    """The (uncoloured) thigh predicate of a leg."""
+    return f"{'UT' if upper else 'LT'}[{leg}]"
+
+
+def calf_predicate(leg: str, upper: bool) -> str:
+    """The (uncoloured) calf predicate of a leg."""
+    return f"{'UC' if upper else 'LC'}[{leg}]"
+
+
+def spider_signature(universe: SpiderUniverse) -> Signature:
+    """The base signature ``Σ`` of Level 0 for a given leg universe."""
+    predicates: Dict[str, int] = {HEAD_PREDICATE: 3}
+    for leg in universe.legs:
+        for upper in (True, False):
+            predicates[thigh_predicate(leg, upper)] = 2
+            predicates[calf_predicate(leg, upper)] = 2
+    return Signature(predicates, constants=(CALF_END,))
+
+
+@dataclass(frozen=True)
+class RealSpider:
+    """A concrete ("real") spider found in, or added to, a Σ̄-structure.
+
+    ``knees`` maps ``(leg, upper?)`` to the knee vertex; the classification
+    into an ideal spider is carried alongside for convenience.
+    """
+
+    head: object
+    tail: object
+    antenna: object
+    knees: Tuple[Tuple[Tuple[str, bool], object], ...]
+    species: IdealSpider
+
+    def knee_of(self, leg: str, upper: bool) -> object:
+        """The knee vertex of a leg."""
+        return dict(self.knees)[(leg, upper)]
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return f"<RealSpider {self.species} head={self.head}>"
+
+
+def build_spider_atoms(
+    universe: SpiderUniverse,
+    species: IdealSpider,
+    head: object,
+    tail: object,
+    antenna: object,
+    knee_of: Dict[Tuple[str, bool], object],
+) -> List[Atom]:
+    """The atoms of a real spider of the given species over given vertices."""
+    universe.validate(species)
+    body = species.color
+    atoms: List[Atom] = [
+        Atom(paint_name(HEAD_PREDICATE, body), (head, tail, antenna))
+    ]
+    for leg in universe.legs:
+        for upper in (True, False):
+            knee = knee_of[(leg, upper)]
+            atoms.append(
+                Atom(paint_name(thigh_predicate(leg, upper), body), (head, knee))
+            )
+            leg_color = species.leg_color(leg, upper)
+            atoms.append(
+                Atom(paint_name(calf_predicate(leg, upper), leg_color), (knee, CALF_END))
+            )
+    return atoms
+
+
+def add_real_spider(
+    structure: Structure,
+    universe: SpiderUniverse,
+    species: IdealSpider,
+    tail: object,
+    antenna: object,
+    vertex_prefix: str,
+) -> RealSpider:
+    """Create a fresh real spider in *structure* with the given tail/antenna."""
+    head = f"{vertex_prefix}::head"
+    knee_of: Dict[Tuple[str, bool], object] = {}
+    for leg in universe.legs:
+        for upper in (True, False):
+            side = "u" if upper else "l"
+            knee_of[(leg, upper)] = f"{vertex_prefix}::knee[{side}:{leg}]"
+    for atom in build_spider_atoms(universe, species, head, tail, antenna, knee_of):
+        structure.add_atom(atom)
+    return RealSpider(
+        head=head,
+        tail=tail,
+        antenna=antenna,
+        knees=tuple(sorted(knee_of.items(), key=lambda kv: (kv[0][0], kv[0][1]))),
+        species=species,
+    )
+
+
+def ideal_spider_structure(
+    universe: SpiderUniverse, species: IdealSpider, name: str = ""
+) -> Structure:
+    """A standalone structure containing exactly one real spider of *species*."""
+    structure = Structure(name=name or species.key())
+    add_real_spider(
+        structure,
+        universe,
+        species,
+        tail=f"{species.key()}::tail",
+        antenna=f"{species.key()}::antenna",
+        vertex_prefix=species.key(),
+    )
+    return structure
+
+
+# ----------------------------------------------------------------------
+# Recognising real spiders in an arbitrary Σ̄-structure
+# ----------------------------------------------------------------------
+def classify_head(
+    structure: Structure, universe: SpiderUniverse, head_atom: Atom
+) -> Optional[RealSpider]:
+    """The real spider whose head atom is *head_atom*, or ``None``.
+
+    A head atom only yields a real spider when every leg is present: for each
+    leg index there must be a thigh of the body colour from the head to some
+    knee and a calf (of either colour) from that knee to the shared constant.
+    The colours of the calves determine the ideal-spider species.
+    """
+    body = color_of_name(head_atom.predicate)
+    if body is None or dalt_name(head_atom.predicate) != HEAD_PREDICATE:
+        return None
+    head, tail, antenna = head_atom.args
+    knees: Dict[Tuple[str, bool], object] = {}
+    off_upper: List[str] = []
+    off_lower: List[str] = []
+    for leg in universe.legs:
+        for upper in (True, False):
+            thigh = paint_name(thigh_predicate(leg, upper), body)
+            knee = None
+            for atom in structure.atoms_with_predicate(thigh):
+                if atom.args[0] == head:
+                    knee = atom.args[1]
+                    break
+            if knee is None:
+                return None
+            knees[(leg, upper)] = knee
+            same = Atom(paint_name(calf_predicate(leg, upper), body), (knee, CALF_END))
+            other = Atom(
+                paint_name(calf_predicate(leg, upper), body.opposite()), (knee, CALF_END)
+            )
+            if structure.satisfies_atom(same):
+                continue
+            if structure.satisfies_atom(other):
+                (off_upper if upper else off_lower).append(leg)
+            else:
+                return None
+    if len(off_upper) > 1 or len(off_lower) > 1:
+        return None
+    species = IdealSpider(body, off_upper or None, off_lower or None)
+    return RealSpider(
+        head=head,
+        tail=tail,
+        antenna=antenna,
+        knees=tuple(sorted(knees.items(), key=lambda kv: (kv[0][0], kv[0][1]))),
+        species=species,
+    )
+
+
+def real_spiders(structure: Structure, universe: SpiderUniverse) -> List[RealSpider]:
+    """All real spiders present in *structure*."""
+    result: List[RealSpider] = []
+    for color in (Color.GREEN, Color.RED):
+        predicate = paint_name(HEAD_PREDICATE, color)
+        for atom in structure.atoms_with_predicate(predicate):
+            spider = classify_head(structure, universe, atom)
+            if spider is not None:
+                result.append(spider)
+    return result
+
+
+def contains_full_spider(
+    structure: Structure, universe: SpiderUniverse, color: Color
+) -> bool:
+    """Does the structure contain a copy of the full spider of *color*?"""
+    return any(
+        spider.species.is_full() and spider.species.color is color
+        for spider in real_spiders(structure, universe)
+    )

@@ -1,0 +1,82 @@
+"""``compile`` and ``decompile``: between swarms and Σ̄-structures (Appendix A).
+
+Definition 28: ``decompile(D)`` is the swarm of all triples ``H(S, b, c)``
+such that ``D`` contains a head atom ``H(a, b, c)`` whose vertex ``a`` is the
+head of a real spider isomorphic to the ideal spider ``S`` — "abstract from
+the physical realisation of the spider's legs".
+
+Definition 29: ``compile(D)`` replaces every swarm edge ``H(S, a, b)`` by a
+real spider of species ``S`` with tail ``a`` and antenna ``b``, and then
+identifies knees that are ∼-equivalent (connected to calves with the same
+predicate symbol and the same colour).  We realise the quotient directly by
+giving every leg a *canonical shared knee vertex* keyed by the calf predicate
+and colour, which produces the quotient structure without an explicit
+equivalence-closure pass.
+
+Lemma 30 (``decompile(compile(D)) = D``) and Lemma 27 are checked by the test
+suite on concrete swarms.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import Dict, Tuple
+
+from ..core.structure import Structure
+from ..greenred.coloring import Color
+from ..swarm.swarm import Swarm
+from .anatomy import CALF_END, build_spider_atoms, real_spiders
+from .ideal import IdealSpider, SpiderUniverse
+
+
+def shared_knee(leg: str, upper: bool, leg_color: Color) -> str:
+    """The canonical knee vertex of a ∼-equivalence class."""
+    side = "u" if upper else "l"
+    return f"knee::{leg_color.value}:{side}:{leg}"
+
+
+def compile_swarm(
+    swarm: Swarm, universe: SpiderUniverse, name: str = ""
+) -> Structure:
+    """``compile(D)`` of Definition 29."""
+    structure = Structure(name=name or f"compile({swarm.name})")
+    structure.add_element(CALF_END)
+    for vertex in swarm.vertices():
+        structure.add_element(vertex)
+    counter = itertools.count()
+    for edge in sorted(swarm.edges(), key=repr):
+        species = swarm.species_of(edge.species_key)
+        if species is None:
+            raise ValueError(f"unknown species key {edge.species_key!r}")
+        universe.validate(species)
+        head = f"head::{next(counter)}::{edge.species_key}"
+        knee_of: Dict[Tuple[str, bool], object] = {}
+        for leg in universe.legs:
+            for upper in (True, False):
+                knee_of[(leg, upper)] = shared_knee(
+                    leg, upper, species.leg_color(leg, upper)
+                )
+        for atom in build_spider_atoms(
+            universe, species, head, edge.tail, edge.antenna, knee_of
+        ):
+            structure.add_atom(atom)
+    return structure
+
+
+def decompile_structure(
+    structure: Structure, universe: SpiderUniverse, name: str = ""
+) -> Swarm:
+    """``decompile(D)`` of Definition 28."""
+    swarm = Swarm(name=name or f"decompile({structure.name})")
+    for spider in real_spiders(structure, universe):
+        swarm.add_edge(spider.species, spider.tail, spider.antenna)
+    return swarm
+
+
+def compile_decompile_roundtrip(
+    swarm: Swarm, universe: SpiderUniverse
+) -> Tuple[Swarm, bool]:
+    """``decompile(compile(D))`` and whether it equals ``D`` (Lemma 30)."""
+    recovered = decompile_structure(compile_swarm(swarm, universe), universe)
+    same = set(recovered.edges()) == set(swarm.edges())
+    return recovered, same

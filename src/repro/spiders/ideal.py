@@ -1,0 +1,214 @@
+"""Ideal spiders: the abstract species ``I^I_J`` and ``H^I_J``.
+
+Section V.B of the paper: for a (large enough) set ``S`` of leg indices, a
+spider has ``s`` upper and ``s`` lower legs; ``I^I_J`` is a *green* spider
+whose upper legs in ``I`` and lower legs in ``J`` are red (and ``H^I_J`` is a
+red spider with green legs ``I``/``J``).  ``I`` and ``J`` are always empty or
+singletons, so there are ``2 + 4s + 2s²`` ideal spiders; the set of all of
+them is called ``A``, and ``A2 ⊆ A`` is the set of green spiders of the form
+``I^I`` (no off-colour lower leg), which is in bijection with ``S̄ = S ∪ {∅}``
+and provides the labels of green graphs.
+
+Leg indices are represented by *names* (strings): the paper's identification
+of grid labels and rainworm symbols with elements of ``S`` "via a fixed
+bijection" (footnote 13) then becomes a no-op.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import FrozenSet, Iterable, List, Optional, Tuple
+
+from ..greenred.coloring import Color
+from ..greengraph.labels import EMPTY, Label
+
+
+class SpiderError(ValueError):
+    """Raised for malformed spiders or illegal spider operations."""
+
+
+def _normalise(index_set: Iterable[str] | str | None) -> FrozenSet[str]:
+    if index_set is None:
+        return frozenset()
+    if isinstance(index_set, str):
+        return frozenset([index_set])
+    return frozenset(index_set)
+
+
+@dataclass(frozen=True)
+class IdealSpider:
+    """An ideal spider: a colour plus the sets of off-colour legs.
+
+    ``upper`` and ``lower`` are the indices of the legs painted in the
+    *opposite* colour (the red legs of a green spider, or vice versa).
+    """
+
+    color: Color
+    upper: FrozenSet[str] = frozenset()
+    lower: FrozenSet[str] = frozenset()
+
+    def __init__(
+        self,
+        color: Color,
+        upper: Iterable[str] | str | None = None,
+        lower: Iterable[str] | str | None = None,
+    ) -> None:
+        object.__setattr__(self, "color", color)
+        object.__setattr__(self, "upper", _normalise(upper))
+        object.__setattr__(self, "lower", _normalise(lower))
+        if len(self.upper) > 1 or len(self.lower) > 1:
+            raise SpiderError(
+                "an ideal spider has at most one off-colour upper and lower leg"
+            )
+
+    # ------------------------------------------------------------------
+    @property
+    def is_green(self) -> bool:
+        """True for ``I``-spiders."""
+        return self.color is Color.GREEN
+
+    @property
+    def is_red(self) -> bool:
+        """True for ``H``-spiders."""
+        return self.color is Color.RED
+
+    def is_full(self) -> bool:
+        """True for the full spiders ``I`` and ``H`` (no off-colour legs)."""
+        return not self.upper and not self.lower
+
+    def is_lower(self) -> bool:
+        """True when the spider has an off-colour lower leg (Lemma 34's notion)."""
+        return bool(self.lower)
+
+    def is_upper_only(self) -> bool:
+        """True for spiders of the form ``I^I`` / ``H^I`` (no lower off-colour leg)."""
+        return not self.lower
+
+    def opposite(self) -> "IdealSpider":
+        """The same off-colour legs in the opposite body colour."""
+        return IdealSpider(self.color.opposite(), self.upper, self.lower)
+
+    def leg_color(self, index: str, upper: bool) -> Color:
+        """The colour of a specific leg."""
+        off = self.upper if upper else self.lower
+        return self.color.opposite() if index in off else self.color
+
+    # ------------------------------------------------------------------
+    def key(self) -> str:
+        """A canonical, human-readable identifier (used in predicate names)."""
+        body = "I" if self.is_green else "H"
+        up = ",".join(sorted(self.upper)) or "∅"
+        low = ",".join(sorted(self.lower)) or "∅"
+        return f"{body}^{up}_{low}"
+
+    def __repr__(self) -> str:  # pragma: no cover - cosmetic
+        return self.key()
+
+
+# ----------------------------------------------------------------------
+# Named constructors
+# ----------------------------------------------------------------------
+def green_spider(
+    upper: Iterable[str] | str | None = None, lower: Iterable[str] | str | None = None
+) -> IdealSpider:
+    """``I^I_J``."""
+    return IdealSpider(Color.GREEN, upper, lower)
+
+
+def red_spider(
+    upper: Iterable[str] | str | None = None, lower: Iterable[str] | str | None = None
+) -> IdealSpider:
+    """``H^I_J``."""
+    return IdealSpider(Color.RED, upper, lower)
+
+
+#: The full green spider ``I`` and the full red spider ``H``.
+FULL_GREEN = green_spider()
+FULL_RED = red_spider()
+
+
+# ----------------------------------------------------------------------
+# The universe of spiders for a given leg-index set S
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class SpiderUniverse:
+    """The set ``S`` of leg indices shared by every spider of a construction."""
+
+    legs: Tuple[str, ...]
+
+    def __post_init__(self) -> None:
+        if len(set(self.legs)) != len(self.legs):
+            raise SpiderError("duplicate leg indices in the spider universe")
+
+    @property
+    def size(self) -> int:
+        """``s = |S|``."""
+        return len(self.legs)
+
+    def contains(self, spider: IdealSpider) -> bool:
+        """Do all off-colour legs of *spider* belong to this universe?"""
+        legs = set(self.legs)
+        return spider.upper <= legs and spider.lower <= legs
+
+    def validate(self, spider: IdealSpider) -> None:
+        """Raise :class:`SpiderError` when the spider does not fit."""
+        if not self.contains(spider):
+            raise SpiderError(f"spider {spider} uses legs outside the universe")
+
+    # ------------------------------------------------------------------
+    def all_spiders(self) -> List[IdealSpider]:
+        """The full set ``A`` (``2 + 4s + 2s²`` ideal spiders)."""
+        result: List[IdealSpider] = []
+        uppers: List[Optional[str]] = [None] + list(self.legs)
+        lowers: List[Optional[str]] = [None] + list(self.legs)
+        for color in (Color.GREEN, Color.RED):
+            for up in uppers:
+                for low in lowers:
+                    result.append(IdealSpider(color, up, low))
+        return result
+
+    def a2_spiders(self) -> List[IdealSpider]:
+        """The set ``A2``: green spiders of the form ``I^I`` (``s + 1`` of them)."""
+        result = [FULL_GREEN]
+        result.extend(green_spider(leg) for leg in self.legs)
+        return result
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def from_labels(labels: Iterable[Label]) -> "SpiderUniverse":
+        """A universe whose legs are the (non-∅) label names of a rule set."""
+        names = []
+        for item in labels:
+            if item.is_empty():
+                continue
+            if item.name not in names:
+                names.append(item.name)
+        return SpiderUniverse(tuple(names))
+
+    def extended(self, extra: Iterable[str]) -> "SpiderUniverse":
+        """A universe with additional leg indices appended."""
+        names = list(self.legs)
+        for name in extra:
+            if name not in names:
+                names.append(name)
+        return SpiderUniverse(tuple(names))
+
+
+# ----------------------------------------------------------------------
+# The A2 ↔ S̄ bijection used by Abstraction Level 2
+# ----------------------------------------------------------------------
+def spider_for_label(label: Label) -> IdealSpider:
+    """The green spider ``I^{label}`` (or ``I`` for the empty label)."""
+    if label.is_empty():
+        return FULL_GREEN
+    return green_spider(label.name)
+
+
+def label_for_spider(spider: IdealSpider) -> Label:
+    """The green-graph label of an ``A2`` spider (inverse of the bijection)."""
+    if not spider.is_green or spider.lower:
+        raise SpiderError(f"{spider} is not an A2 spider")
+    if not spider.upper:
+        return EMPTY
+    (name,) = tuple(spider.upper)
+    return Label(name)

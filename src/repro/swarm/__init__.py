@@ -1,0 +1,46 @@
+"""Swarms: the Abstraction Level 1 language and its translations."""
+
+from .compile import compile_rule, compile_rules, universe_for_rules
+from .minimal import important_atoms, is_minimal_model, minimal_submodel
+from .precompile_ops import deprecompile_swarm, precompile_structure
+from .rules import (
+    SwarmChase,
+    SwarmRule,
+    SwarmRuleKind,
+    SwarmRuleSet,
+    shared_antenna_rule,
+    shared_tail_rule,
+)
+from .swarm import (
+    Swarm,
+    SwarmEdge,
+    green_graph_from_swarm,
+    initial_swarm,
+    species_of_predicate,
+    swarm_from_green_graph,
+    swarm_predicate,
+)
+
+__all__ = [
+    "Swarm",
+    "SwarmChase",
+    "SwarmEdge",
+    "SwarmRule",
+    "SwarmRuleKind",
+    "SwarmRuleSet",
+    "compile_rule",
+    "compile_rules",
+    "deprecompile_swarm",
+    "green_graph_from_swarm",
+    "important_atoms",
+    "initial_swarm",
+    "is_minimal_model",
+    "minimal_submodel",
+    "precompile_structure",
+    "shared_antenna_rule",
+    "shared_tail_rule",
+    "species_of_predicate",
+    "swarm_from_green_graph",
+    "swarm_predicate",
+    "universe_for_rules",
+]

@@ -1,0 +1,54 @@
+"""``Compile``: from Level-1 rules to conjunctive queries over Σ (Definition 8).
+
+    Compile(T) = {f & f′ : f &· f′ ∈ T} ∪ {f / f′ : f /· f′ ∈ T}
+
+i.e. "treat each rule from ``T`` as a binary query from ``F2``".  The binary
+queries are built over the concrete Level-0 spider anatomy; the leg-index
+universe ``S`` is inferred from the rule set (all upper and lower indices it
+mentions), which realises the paper's "let s be a natural number, large
+enough".
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List
+
+from ..core.query import ConjunctiveQuery
+from ..spiders.ideal import SpiderUniverse
+from ..spiders.queries import BinaryKind, binary_spider_query
+from .rules import SwarmRule, SwarmRuleKind, SwarmRuleSet
+
+
+def universe_for_rules(rules: Iterable[SwarmRule]) -> SpiderUniverse:
+    """The leg-index universe spanned by a set of ``L1`` rules."""
+    names: List[str] = []
+    for rule in rules:
+        for spec in (rule.first, rule.second):
+            for name in sorted(spec.upper) + sorted(spec.lower):
+                if name not in names:
+                    names.append(name)
+    return SpiderUniverse(tuple(names))
+
+
+def compile_rule(
+    rule: SwarmRule, universe: SpiderUniverse, name: str = ""
+) -> ConjunctiveQuery:
+    """The binary query of ``F2`` corresponding to a single ``L1`` rule."""
+    kind = (
+        BinaryKind.SHARED_ANTENNA
+        if rule.kind is SwarmRuleKind.SHARED_ANTENNA
+        else BinaryKind.SHARED_TAIL
+    )
+    return binary_spider_query(
+        universe, kind, rule.first, rule.second, name=name or rule.display()
+    )
+
+
+def compile_rules(
+    rules: SwarmRuleSet | Iterable[SwarmRule],
+    universe: SpiderUniverse | None = None,
+) -> List[ConjunctiveQuery]:
+    """``Compile(T)`` for a Level-1 rule set."""
+    rule_list = list(rules)
+    space = universe or universe_for_rules(rule_list)
+    return [compile_rule(rule, space) for rule in rule_list]

@@ -1,0 +1,86 @@
+"""Minimal models (Definition 31) for swarms and green graphs.
+
+Each rule of ``L1`` / ``L2`` postulates, for two edges satisfying its
+left-hand side, the existence of a *pair of witnesses* — two edges satisfying
+the right-hand side.  The *important* edges of a model ``M`` containing
+``H(I, a, b)`` are defined inductively: the seed edge is important, and
+whenever a rule's left-hand side is matched by important edges, the witness
+edges found in ``M`` are important.  ``M`` is a *minimal model* when every
+edge is important.
+
+Minimal models retain some of the inductive flavour of the chase and are the
+technical device behind the proof of Lemma 12(2) (Appendix A of the paper).
+This module computes the important-edge fixpoint and extracts minimal
+sub-models, generically over any rule object exposing ``tgds()`` with
+two-atom bodies and heads (which both :class:`~repro.swarm.rules.SwarmRule`
+and :class:`~repro.greengraph.rules.GreenGraphRule` do).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Set
+
+from ..chase.tgd import TGD
+from ..core.atoms import Atom
+from ..core.homomorphism import all_homomorphisms
+from ..core.structure import Structure
+
+
+def important_atoms(
+    structure: Structure,
+    tgds: Sequence[TGD],
+    seeds: Iterable[Atom],
+    max_rounds: int = 1_000,
+) -> Set[Atom]:
+    """The least fixpoint of the importance operator of Definition 31."""
+    important: Set[Atom] = {atom for atom in seeds if atom in structure.atoms()}
+    for _ in range(max_rounds):
+        added = False
+        important_structure = Structure(important)
+        for element in structure.domain():
+            important_structure.add_element(element)
+        for tgd in tgds:
+            for body_match in all_homomorphisms(list(tgd.body), important_structure):
+                frontier = {
+                    var: body_match[var] for var in tgd.frontier() if var in body_match
+                }
+                for head_match in all_homomorphisms(
+                    list(tgd.head), structure, fix=frontier
+                ):
+                    for atom in tgd.head:
+                        witness = atom.substitute(head_match)
+                        if witness not in important:
+                            important.add(witness)
+                            added = True
+        if not added:
+            break
+    return important
+
+
+def minimal_submodel(
+    structure: Structure,
+    tgds: Sequence[TGD],
+    seeds: Iterable[Atom],
+) -> Structure:
+    """The substructure of *structure* containing only the important atoms.
+
+    When *structure* is a model of the rules, the paper observes that this
+    substructure is again a model (one can "just take a substructure
+    containing only important edges as a new model").
+    """
+    atoms = important_atoms(structure, tgds, seeds)
+    result = Structure(atoms, name=f"minimal({structure.name})")
+    for element in structure.domain():
+        if any(element in atom.args for atom in atoms):
+            result.add_element(element)
+    return result
+
+
+def is_minimal_model(
+    structure: Structure,
+    tgds: Sequence[TGD],
+    seeds: Iterable[Atom],
+) -> bool:
+    """Is every atom of *structure* important (Definition 31)?"""
+    atoms = important_atoms(structure, tgds, seeds)
+    return structure.atoms() <= atoms

@@ -1,0 +1,98 @@
+"""Unit tests for repro.core.atoms and repro.core.signature."""
+
+import pytest
+
+from repro.core.atoms import Atom, atoms_elements, substitute_atoms
+from repro.core.signature import Predicate, Signature, SignatureError
+from repro.core.terms import Constant, Variable
+
+
+def test_atom_arity_and_args():
+    atom = Atom("R", (Variable("x"), Constant("a")))
+    assert atom.arity == 2
+    assert atom.predicate == "R"
+
+
+def test_atom_substitution_keeps_unmapped_arguments():
+    x, y = Variable("x"), Variable("y")
+    atom = Atom("R", (x, y))
+    result = atom.substitute({x: "1"})
+    assert result == Atom("R", ("1", y))
+
+
+def test_atom_rename_predicate():
+    atom = Atom("R", ("1",))
+    assert atom.rename_predicate(lambda n: "G::" + n).predicate == "G::R"
+
+
+def test_atom_variables_and_constants_in_order():
+    x, y, a = Variable("x"), Variable("y"), Constant("a")
+    atom = Atom("R", (y, a, x, y))
+    assert atom.variables() == (y, x)
+    assert atom.constants() == (a,)
+
+
+def test_atom_groundness():
+    assert Atom("R", ("1", Constant("a"))).is_ground()
+    assert not Atom("R", (Variable("x"),)).is_ground()
+
+
+def test_atoms_elements_union():
+    atoms = [Atom("R", ("1", "2")), Atom("S", ("2", "3"))]
+    assert atoms_elements(atoms) == {"1", "2", "3"}
+
+
+def test_substitute_atoms_applies_to_all():
+    atoms = [Atom("R", (Variable("x"),)), Atom("S", (Variable("x"),))]
+    ground = substitute_atoms(atoms, {Variable("x"): "7"})
+    assert all(a.args == ("7",) for a in ground)
+
+
+def test_signature_arity_lookup_and_membership():
+    sig = Signature({"R": 2, "S": 1})
+    assert sig.arity("R") == 2
+    assert "S" in sig
+    assert "T" not in sig
+    with pytest.raises(SignatureError):
+        sig.arity("T")
+
+
+def test_signature_validates_atoms():
+    sig = Signature({"R": 2})
+    sig.validate_atom(Atom("R", ("1", "2")))
+    with pytest.raises(SignatureError):
+        sig.validate_atom(Atom("R", ("1",)))
+    with pytest.raises(SignatureError):
+        sig.validate_atom(Atom("T", ("1",)))
+
+
+def test_signature_with_predicates_conflicting_arity():
+    sig = Signature({"R": 2})
+    with pytest.raises(SignatureError):
+        sig.with_predicates({"R": 3})
+
+
+def test_signature_union_and_restrict():
+    first = Signature({"R": 2}, constants=(Constant("a"),))
+    second = Signature({"S": 1})
+    union = first.union(second)
+    assert set(union.predicate_names) == {"R", "S"}
+    assert Constant("a") in union.constants
+    assert set(union.restrict_to(["R"]).predicate_names) == {"R"}
+
+
+def test_signature_from_atoms_infers_arities_and_constants():
+    atoms = [Atom("R", ("1", Constant("a"))), Atom("S", ("1",))]
+    sig = Signature.from_atoms(atoms)
+    assert sig.arity("R") == 2
+    assert sig.arity("S") == 1
+    assert Constant("a") in sig.constants
+
+
+def test_signature_from_atoms_rejects_inconsistent_arity():
+    with pytest.raises(SignatureError):
+        Signature.from_atoms([Atom("R", ("1",)), Atom("R", ("1", "2"))])
+
+
+def test_predicate_repr():
+    assert repr(Predicate("R", 2)) == "R/2"

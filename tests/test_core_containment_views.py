@@ -1,0 +1,77 @@
+"""Unit tests for CQ containment and view sets."""
+
+import pytest
+
+from repro.core.builders import parse_cq, structure_from_text
+from repro.core.containment import are_equivalent, is_contained_in
+from repro.core.query import QueryError
+from repro.core.views import ViewSet, counterexample_pair, determines
+
+
+def test_longer_path_contained_in_shorter():
+    long_path = parse_cq("p(x, z) :- R(x, y), R(y, z)")
+    edge = parse_cq("e(x, z) :- R(x, w), R(w, z)")
+    assert is_contained_in(long_path, edge)
+    assert are_equivalent(long_path, edge)
+
+
+def test_containment_is_directional():
+    specific = parse_cq("q(x) :- R(x, y), S(y)")
+    general = parse_cq("p(x) :- R(x, y)")
+    assert is_contained_in(specific, general)
+    assert not is_contained_in(general, specific)
+
+
+def test_containment_requires_equal_arity():
+    unary = parse_cq("q(x) :- R(x, y)")
+    binary = parse_cq("p(x, y) :- R(x, y)")
+    with pytest.raises(QueryError):
+        is_contained_in(unary, binary)
+
+
+def test_view_set_rejects_duplicate_names():
+    query = parse_cq("v(x) :- R(x, y)")
+    with pytest.raises(ValueError):
+        ViewSet([query, query])
+
+
+def test_view_signature_has_one_predicate_per_view():
+    views = ViewSet([parse_cq("v1(x) :- R(x, y)"), parse_cq("v2(x, y) :- R(x, y)")])
+    signature = views.view_signature()
+    assert signature.arity("v1") == 1
+    assert signature.arity("v2") == 2
+
+
+def test_view_evaluation_produces_view_image():
+    views = ViewSet([parse_cq("v(x) :- R(x, y)")])
+    image = views.evaluate(structure_from_text("R(1,2), R(2,3)"))
+    assert {a.args for a in image.atoms()} == {("1",), ("2",)}
+
+
+def test_images_agree_and_disagree():
+    views = ViewSet([parse_cq("v(x) :- R(x, y)")])
+    first = structure_from_text("R(1,2)")
+    second = structure_from_text("R(1,3)")
+    third = structure_from_text("R(2,3)")
+    assert views.images_agree(first, second)
+    assert not views.images_agree(first, third)
+    assert "v" in views.disagreeing_views(first, third)
+
+
+def test_determines_on_explicit_pairs():
+    views = [parse_cq("v(x) :- R(x, y)")]
+    query = parse_cq("q(x, y) :- R(x, y)")
+    first = structure_from_text("R(1,2)")
+    second = structure_from_text("R(1,3)")
+    # Views agree but the query differs: determinacy fails on this pair.
+    assert not determines(views, query, [(first, second)])
+    assert counterexample_pair(views, query, [(first, second)]) == (first, second)
+
+
+def test_determines_when_views_differ_pair_is_ignored():
+    views = [parse_cq("v(x, y) :- R(x, y)")]
+    query = parse_cq("q(x, y) :- R(x, y)")
+    first = structure_from_text("R(1,2)")
+    second = structure_from_text("R(1,3)")
+    assert determines(views, query, [(first, second)])
+    assert counterexample_pair(views, query, [(first, second)]) is None

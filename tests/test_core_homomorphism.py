@@ -1,0 +1,110 @@
+"""Unit tests for repro.core.homomorphism."""
+
+from repro.core.atoms import Atom
+from repro.core.builders import structure_from_text
+from repro.core.homomorphism import (
+    all_homomorphisms,
+    are_isomorphic,
+    find_homomorphism,
+    find_isomorphism,
+    has_homomorphism,
+    is_embedding,
+    is_homomorphism,
+)
+from repro.core.structure import Structure
+from repro.core.terms import Constant, Variable
+
+
+def _triangle():
+    return structure_from_text("E(1,2), E(2,3), E(3,1)")
+
+
+def _edge_atoms():
+    return [Atom("E", (Variable("x"), Variable("y")))]
+
+
+def test_single_edge_maps_into_triangle():
+    assert has_homomorphism(_edge_atoms(), _triangle())
+
+
+def test_all_homomorphisms_counts_matches():
+    matches = list(all_homomorphisms(_edge_atoms(), _triangle()))
+    assert len(matches) == 3
+
+
+def test_path_of_length_two_into_triangle():
+    atoms = [
+        Atom("E", (Variable("x"), Variable("y"))),
+        Atom("E", (Variable("y"), Variable("z"))),
+    ]
+    found = find_homomorphism(atoms, _triangle())
+    assert found is not None
+    assert Atom("E", (found[Variable("x")], found[Variable("y")])) in _triangle().atoms()
+
+
+def test_no_homomorphism_into_edgeless_structure():
+    empty = Structure(domain=("1",))
+    assert find_homomorphism(_edge_atoms(), empty) is None
+
+
+def test_fix_constrains_the_search():
+    target = structure_from_text("E(1,2), E(2,3)")
+    fixed = find_homomorphism(_edge_atoms(), target, fix={Variable("x"): "2"})
+    assert fixed is not None and fixed[Variable("y")] == "3"
+    assert find_homomorphism(_edge_atoms(), target, fix={Variable("x"): "3"}) is None
+
+
+def test_constants_must_map_to_themselves():
+    atoms = [Atom("E", (Constant("a"), Variable("y")))]
+    good = Structure([Atom("E", (Constant("a"), "1"))])
+    bad = Structure([Atom("E", ("b", "1"))])
+    assert has_homomorphism(atoms, good)
+    assert not has_homomorphism(atoms, bad)
+
+
+def test_structure_source_includes_isolated_elements():
+    source = Structure([Atom("E", ("u", "v"))])
+    source.add_element("isolated")
+    target = _triangle()
+    mapping = find_homomorphism(source, target)
+    assert mapping is not None
+    assert "isolated" in mapping
+
+
+def test_is_homomorphism_checker():
+    source = structure_from_text("E(u,v)")
+    target = _triangle()
+    assert is_homomorphism({"u": "1", "v": "2"}, source, target)
+    assert not is_homomorphism({"u": "1", "v": "3"}, source, target)
+
+
+def test_is_embedding():
+    assert is_embedding({"a": 1, "b": 2})
+    assert not is_embedding({"a": 1, "b": 1})
+
+
+def test_isomorphism_detects_renamed_copy():
+    first = structure_from_text("E(1,2), E(2,3)")
+    second = structure_from_text("E(x,y), E(y,z)")
+    assert are_isomorphic(first, second)
+    mapping = find_isomorphism(first, second)
+    assert mapping is not None and len(set(mapping.values())) == 3
+
+
+def test_isomorphism_rejects_different_shapes():
+    path = structure_from_text("E(1,2), E(2,3)")
+    fork = structure_from_text("E(1,2), E(1,3)")
+    assert not are_isomorphic(path, fork)
+
+
+def test_isomorphism_rejects_different_sizes():
+    small = structure_from_text("E(1,2)")
+    big = structure_from_text("E(1,2), E(2,3)")
+    assert not are_isomorphic(small, big)
+
+
+def test_homomorphism_folds_but_isomorphism_does_not():
+    path = structure_from_text("E(1,2), E(2,3)")
+    single = structure_from_text("E(a,a)")
+    assert has_homomorphism(path, single)
+    assert not are_isomorphic(path, single)

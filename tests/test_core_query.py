@@ -1,0 +1,103 @@
+"""Unit tests for repro.core.query and the builders."""
+
+import pytest
+
+from repro.core.atoms import Atom
+from repro.core.builders import parse_cq, structure_from_text
+from repro.core.query import ConjunctiveQuery, QueryError
+from repro.core.structure import Structure
+from repro.core.terms import Constant, Variable
+
+
+def test_parse_and_evaluate_binary_query():
+    query = parse_cq("q(x, z) :- R(x, y), R(y, z)")
+    data = structure_from_text("R(1,2), R(2,3), R(3,4)")
+    assert query.evaluate(data) == {("1", "3"), ("2", "4")}
+
+
+def test_boolean_query_holds():
+    query = parse_cq("q() :- R(x, x)")
+    assert not query.holds(structure_from_text("R(1,2)"))
+    assert query.holds(structure_from_text("R(1,1)"))
+
+
+def test_holds_at_specific_answer():
+    query = parse_cq("q(x) :- R(x, y)")
+    data = structure_from_text("R(1,2)")
+    assert query.holds(data, ("1",))
+    assert not query.holds(data, ("2",))
+
+
+def test_holds_with_wrong_arity_raises():
+    query = parse_cq("q(x) :- R(x, y)")
+    with pytest.raises(QueryError):
+        query.holds(structure_from_text("R(1,2)"), ("1", "2"))
+
+
+def test_free_variable_must_occur_in_body():
+    with pytest.raises(QueryError):
+        ConjunctiveQuery("bad", (Variable("z"),), (Atom("R", (Variable("x"),)),))
+
+
+def test_duplicate_free_variables_rejected():
+    x = Variable("x")
+    with pytest.raises(QueryError):
+        ConjunctiveQuery("bad", (x, x), (Atom("R", (x,)),))
+
+
+def test_existential_variables():
+    query = parse_cq("q(x) :- R(x, y), S(y, z)")
+    assert query.existential_variables() == {Variable("y"), Variable("z")}
+
+
+def test_constants_in_query_evaluation():
+    query = parse_cq("q(x) :- R(x, #a)")
+    data = structure_from_text("R(1, #a), R(2, #b)")
+    assert query.evaluate(data) == {("1",)}
+
+
+def test_canonical_structure_roundtrip():
+    query = parse_cq("q(x) :- R(x, y)")
+    canonical = query.canonical_structure()
+    assert Atom("R", (Variable("x"), Variable("y"))) in canonical.atoms()
+    rebuilt = ConjunctiveQuery.from_structure(canonical, [Variable("x")], name="q2")
+    assert rebuilt.evaluate(structure_from_text("R(1,2)")) == {("1",)}
+
+
+def test_from_structure_rejects_constant_free_elements():
+    structure = Structure([Atom("R", (Constant("a"), "v"))])
+    with pytest.raises(QueryError):
+        ConjunctiveQuery.from_structure(structure, [Constant("a")])
+
+
+def test_boolean_closure():
+    query = parse_cq("q(x) :- R(x, y)")
+    closed = query.boolean_closure()
+    assert closed.is_boolean()
+    assert closed.holds(structure_from_text("R(1,2)"))
+
+
+def test_rename_predicates_on_query():
+    query = parse_cq("q(x) :- R(x, y)")
+    painted = query.rename_predicates(lambda n: "G::" + n)
+    assert painted.predicates() == {"G::R"}
+
+
+def test_substitute_free_variable():
+    query = parse_cq("q(x) :- R(x, y)")
+    renamed = query.substitute({Variable("x"): Variable("u")})
+    assert renamed.free_variables == (Variable("u"),)
+
+
+def test_substitute_to_non_variable_head_rejected():
+    query = parse_cq("q(x) :- R(x, y)")
+    with pytest.raises(QueryError):
+        query.substitute({Variable("x"): Constant("a")})
+
+
+def test_query_evaluation_on_larger_instance():
+    query = parse_cq("triangle() :- E(x,y), E(y,z), E(z,x)")
+    no_triangle = structure_from_text("E(1,2), E(2,3), E(3,4)")
+    with_triangle = structure_from_text("E(1,2), E(2,3), E(3,1)")
+    assert not query.holds(no_triangle)
+    assert query.holds(with_triangle)

@@ -1,0 +1,68 @@
+"""Unit tests for repro.core.terms."""
+
+from repro.core.terms import (
+    Constant,
+    FreshNullFactory,
+    FreshVariableFactory,
+    LabeledNull,
+    Variable,
+    constants_in,
+    is_rigid,
+    variables_in,
+)
+
+
+def test_variable_identity_by_name():
+    assert Variable("x") == Variable("x")
+    assert Variable("x") != Variable("y")
+    assert hash(Variable("x")) == hash(Variable("x"))
+
+
+def test_constant_identity_by_name():
+    assert Constant("a") == Constant("a")
+    assert Constant("a") != Constant("b")
+
+
+def test_variable_and_constant_are_distinct():
+    assert Variable("a") != Constant("a")
+
+
+def test_only_constants_are_rigid():
+    assert is_rigid(Constant("a"))
+    assert not is_rigid(Variable("a"))
+    assert not is_rigid(LabeledNull(0))
+    assert not is_rigid("plain-element")
+
+
+def test_fresh_variable_factory_produces_distinct_names():
+    factory = FreshVariableFactory()
+    produced = factory.fresh_many(50)
+    assert len({v.name for v in produced}) == 50
+
+
+def test_fresh_variable_factory_uses_hint():
+    factory = FreshVariableFactory()
+    assert factory.fresh("z").name.startswith("z")
+
+
+def test_fresh_null_factory_produces_increasing_indices():
+    factory = FreshNullFactory()
+    first, second = factory.fresh(), factory.fresh()
+    assert first.index < second.index
+    assert first != second
+
+
+def test_labeled_null_repr_contains_hint():
+    assert "witness" in repr(LabeledNull(3, "witness"))
+
+
+def test_variables_in_filters_and_deduplicates():
+    x, y = Variable("x"), Variable("y")
+    found = list(variables_in([x, Constant("a"), y, x, "raw"]))
+    assert found == [x, y]
+
+
+def test_constants_in_filters_and_deduplicates():
+    a = Constant("a")
+    found = list(constants_in([a, Variable("x"), a]))
+    assert found == [a]

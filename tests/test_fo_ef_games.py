@@ -1,0 +1,63 @@
+"""Tests for the Ehrenfeucht–Fraïssé game solver."""
+
+from repro.core.builders import structure_from_text
+from repro.core.structure import Structure
+from repro.fo import distinguishing_rank, duplicator_wins, ef_equivalent
+
+
+def _linear_order(n: int) -> Structure:
+    text = ", ".join(f"E({i},{i + 1})" for i in range(n))
+    return structure_from_text(text)
+
+
+def test_identical_structures_are_equivalent_at_any_checked_rank():
+    graph = structure_from_text("E(1,2), E(2,3)")
+    assert ef_equivalent(graph, graph.copy(), 3)
+
+
+def test_rank_zero_never_distinguishes():
+    assert duplicator_wins(structure_from_text("E(1,2)"), Structure(), 0)
+
+
+def test_rank_two_distinguishes_presence_of_a_binary_relation():
+    # ∃x∃y E(x,y) has quantifier rank 2: one round is not enough to see a
+    # (loop-free) edge, two rounds are.
+    with_edge = structure_from_text("E(1,2)")
+    without_edge = Structure(domain=("1", "2"))
+    assert duplicator_wins(with_edge, without_edge, 1)
+    assert not duplicator_wins(with_edge, without_edge, 2)
+    assert distinguishing_rank(with_edge, without_edge, 3) == 2
+
+
+def test_rank_one_cannot_count_elements():
+    small = Structure(domain=("1",))
+    big = Structure(domain=("1", "2", "3"))
+    assert duplicator_wins(small, big, 1)
+    assert not duplicator_wins(small, big, 2)
+
+
+def test_two_element_and_three_element_orders_differ_at_rank_two():
+    two = _linear_order(2)
+    three = _linear_order(3)
+    assert duplicator_wins(two, three, 1)
+    rank = distinguishing_rank(two, three, 3)
+    assert rank is not None and rank >= 2
+
+
+def test_loops_versus_simple_edges():
+    loop = structure_from_text("E(1,1)")
+    edge = structure_from_text("E(1,2)")
+    assert not duplicator_wins(loop, edge, 1)
+
+
+def test_disjoint_unions_of_same_components_are_equivalent():
+    single = structure_from_text("E(1,2)")
+    double = structure_from_text("E(1,2), E(3,4)")
+    # One round cannot tell one copy from two.
+    assert duplicator_wins(single, double, 1)
+
+
+def test_distinguishing_rank_none_when_beyond_bound():
+    two = _linear_order(6)
+    three = _linear_order(7)
+    assert distinguishing_rank(two, three, 1) is None

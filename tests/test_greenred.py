@@ -1,0 +1,144 @@
+"""Unit tests for the green-red machinery (Section IV)."""
+
+import pytest
+
+from repro.core.builders import parse_cq, structure_from_text
+from repro.greenred import (
+    Color,
+    Verdict,
+    build_tq,
+    check_finite_determinacy,
+    check_unrestricted_determinacy,
+    counterexample_pair,
+    dalt_name,
+    dalt_structure,
+    disagreeing_queries,
+    green_name,
+    green_part,
+    green_query,
+    green_red_signature,
+    green_structure,
+    is_finite_counterexample,
+    lemma4_holds,
+    red_name,
+    red_part,
+    red_query,
+    red_structure,
+    satisfies_tq,
+    swap_colors,
+    tgd_from_query,
+    verify_observation6,
+    views_agree_condition,
+)
+from repro.core.signature import Signature
+from repro.core.terms import Constant
+
+
+def test_paint_and_dalt_names_roundtrip():
+    assert dalt_name(green_name("R")) == "R"
+    assert dalt_name(red_name("R")) == "R"
+    assert green_name("R") != red_name("R")
+
+
+def test_painting_twice_is_an_error():
+    with pytest.raises(ValueError):
+        green_name(green_name("R"))
+
+
+def test_green_red_signature_doubles_predicates_and_keeps_constants():
+    base = Signature({"R": 2}, constants=(Constant("c"),))
+    doubled = green_red_signature(base)
+    assert len(doubled) == 2
+    assert Constant("c") in doubled.constants
+
+
+def test_structure_painting_and_daltonisation():
+    base = structure_from_text("R(1,2)")
+    green = green_structure(base)
+    red = red_structure(base)
+    assert dalt_structure(green).atoms() == base.atoms()
+    assert dalt_structure(red).atoms() == base.atoms()
+    assert green.atoms() != red.atoms()
+
+
+def test_color_restriction_and_swap():
+    colored = green_structure(structure_from_text("R(1,2)")).union(
+        red_structure(structure_from_text("S(2,3)"))
+    )
+    assert len(green_part(colored).atoms()) == 1
+    assert len(red_part(colored).atoms()) == 1
+    swapped = swap_colors(colored)
+    assert len(green_part(swapped).atoms_with_predicate(green_name("S"))) == 1
+
+
+def test_tgd_from_query_shape():
+    query = parse_cq("v(x) :- R(x, y)")
+    tgd = tgd_from_query(query, Color.GREEN)
+    assert len(tgd.body) == 1 and len(tgd.head) == 1
+    assert tgd.frontier() == set(query.free_variables)
+    assert len(tgd.existential_variables()) == 1
+    assert build_tq([query])[1].name.endswith("R->G")
+
+
+def test_lemma4_equivalence_on_samples():
+    view = parse_cq("v(x) :- R(x, y)")
+    both = green_structure(structure_from_text("R(1,2)")).union(
+        red_structure(structure_from_text("R(1,3)"))
+    )
+    only_green = green_structure(structure_from_text("R(1,2)"))
+    for structure in (both, only_green):
+        assert lemma4_holds(structure, [view])
+    assert views_agree_condition(both, [view])
+    assert satisfies_tq(both, [view])
+    assert not views_agree_condition(only_green, [view])
+    assert not satisfies_tq(only_green, [view])
+    assert disagreeing_queries(only_green, [view])
+
+
+def test_identity_view_determines_everything():
+    view = parse_cq("v(x, y) :- R(x, y)")
+    query = parse_cq("q(x) :- R(x, x)")
+    report = check_unrestricted_determinacy([view], query)
+    assert report.verdict is Verdict.DETERMINED
+    assert report.certificate is not None
+
+
+def test_projection_view_does_not_determine_full_relation():
+    view = parse_cq("v(x) :- R(x, y)")
+    query = parse_cq("q(x, y) :- R(x, y)")
+    report = check_unrestricted_determinacy([view], query, max_stages=8)
+    assert report.verdict is Verdict.NOT_DETERMINED
+    finite = check_finite_determinacy([view], query, max_stages=8)
+    assert finite.verdict is Verdict.NOT_DETERMINED
+    first, second = counterexample_pair(finite.counterexample)
+    assert view.evaluate(first) == view.evaluate(second)
+    assert query.evaluate(first) != query.evaluate(second)
+
+
+def test_is_finite_counterexample_checker():
+    view = parse_cq("v(x) :- R(x, y)")
+    query = parse_cq("q(x, y) :- R(x, y)")
+    # A hand-built two-coloured structure: same projection, different pairs.
+    candidate = green_structure(structure_from_text("R(1,2)")).union(
+        red_structure(structure_from_text("R(1,3)"))
+    )
+    assert is_finite_counterexample(candidate, [view], query)
+    identity_view = parse_cq("w(x, y) :- R(x, y)")
+    assert not is_finite_counterexample(candidate, [identity_view], query)
+
+
+def test_verdict_is_not_a_boolean():
+    with pytest.raises(TypeError):
+        bool(Verdict.DETERMINED)
+
+
+def test_observation6_on_small_examples():
+    views = [parse_cq("v(x) :- R(x, y)"), parse_cq("w(x) :- R(x, y), R(y, z)")]
+    start = green_structure(structure_from_text("R(1,2), R(2,3)"))
+    assert verify_observation6(views, start, max_stages=4)
+
+
+def test_query_painting_names():
+    query = parse_cq("v(x) :- R(x, y)")
+    assert green_query(query).predicates() == {green_name("R")}
+    assert red_query(query).predicates() == {red_name("R")}

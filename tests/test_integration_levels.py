@@ -1,0 +1,68 @@
+"""Integration tests across abstraction levels (the Lemma 12 interfaces)."""
+
+from repro.core.builders import parse_cq
+from repro.greenred import Verdict, check_unrestricted_determinacy
+from repro.greengraph import (
+    EMPTY,
+    GreenGraphRuleSet,
+    and_rule,
+    even,
+    initial_graph,
+    odd,
+)
+from repro.greengraph.precompile import precompile
+from repro.separating import separating_instance, t_infinity_rules
+from repro.swarm import SwarmRuleSet, compile_rules, initial_swarm, universe_for_rules
+from repro.greenred.tq import build_tq
+
+
+def test_level2_and_level1_chases_agree_on_red_spider_production():
+    """A 1-2 pattern producing rule set leads to the red spider after Precompile."""
+    rules = GreenGraphRuleSet(
+        [
+            and_rule(EMPTY, EMPTY, even("1x"), odd("y1"), name="make-xy"),
+            and_rule(even("1x"), odd("y1"), odd("1"), even("2"), name="make-12"),
+        ]
+    )
+    chase2 = rules.chase(initial_graph(), max_stages=4)
+    assert chase2.first_stage_with_one_two_pattern() is not None
+    level1 = precompile(rules)
+    chase1 = SwarmRuleSet(list(level1.rules)).chase(
+        initial_swarm(), max_stages=8, max_atoms=20_000
+    )
+    assert chase1.first_stage_with_red_spider() is not None
+
+
+def test_level2_without_pattern_gives_no_red_spider_at_level1():
+    rules = t_infinity_rules()
+    chase2 = rules.chase(initial_graph(), max_stages=5)
+    assert chase2.first_stage_with_one_two_pattern() is None
+    level1 = precompile(rules)
+    chase1 = level1.chase(initial_swarm(), max_stages=7, max_atoms=20_000)
+    assert chase1.first_stage_with_red_spider() is None
+
+
+def test_compiled_queries_inherit_arity_from_rule_kind():
+    level1 = precompile(t_infinity_rules())
+    universe = universe_for_rules(level1.rules)
+    queries = compile_rules(level1, universe)
+    for query in queries:
+        # Every F2 query has two endpoint free variables plus the free knees.
+        assert query.arity >= 2
+        assert len(query.atoms) >= 2 * (1 + 2 * universe.size) - 4
+
+
+def test_separating_instance_views_generate_green_red_tgds():
+    instance = separating_instance(t_infinity_rules())
+    tgds = build_tq(instance.views[:2])
+    assert len(tgds) == 4
+    for tgd in tgds:
+        assert tgd.frontier()
+        assert tgd.existential_variables()
+
+
+def test_plain_determinacy_checker_still_works_alongside_the_big_machinery():
+    views = [parse_cq("v1(x, y) :- R(x, z), S(z, y)"), parse_cq("v2(x) :- R(x, z)")]
+    query = parse_cq("q(x, y) :- R(x, z), S(z, y)")
+    report = check_unrestricted_determinacy(views, query)
+    assert report.verdict is Verdict.DETERMINED

@@ -1,0 +1,63 @@
+"""Tests for the leads-to-the-red-spider checkers and minimal models."""
+
+from repro.greengraph import (
+    EMPTY,
+    GreenGraphRuleSet,
+    LeadsVerdict,
+    and_rule,
+    chase_for_pattern,
+    countermodel_report,
+    even,
+    initial_graph,
+    is_countermodel,
+    odd,
+)
+from repro.separating import figure1_graph, t_infinity_rules
+from repro.swarm import important_atoms, initial_swarm, minimal_submodel
+from repro.greengraph.precompile import bootstrap_rules
+from repro.swarm.swarm import swarm_predicate
+from repro.spiders import FULL_GREEN
+from repro.core.atoms import Atom
+from repro.greengraph.graph import VERTEX_A, VERTEX_B
+
+
+def _leading_rules() -> GreenGraphRuleSet:
+    return GreenGraphRuleSet(
+        [
+            and_rule(EMPTY, EMPTY, even("u"), odd("v"), name="make-uv"),
+            and_rule(even("u"), odd("v"), odd("1"), even("2"), name="make-12"),
+        ]
+    )
+
+
+def test_chase_for_pattern_positive():
+    report = chase_for_pattern(_leading_rules(), max_stages=5)
+    assert report.verdict is LeadsVerdict.LEADS
+    assert report.pattern_stage is not None
+
+
+def test_chase_for_pattern_unknown_for_t_infinity():
+    report = chase_for_pattern(t_infinity_rules(), max_stages=5)
+    assert report.verdict is LeadsVerdict.UNKNOWN
+
+
+def test_countermodel_check_accepts_pattern_free_model():
+    rules = t_infinity_rules()
+    # A deep chase prefix is not literally a model (the tip is open), so use
+    # the dedicated reports to characterise both situations.
+    prefix = figure1_graph(6)
+    assert not prefix.contains_one_two_pattern()
+    report = countermodel_report(prefix, rules)
+    assert report.verdict in (LeadsVerdict.DOES_NOT_LEAD, LeadsVerdict.UNKNOWN)
+    assert not is_countermodel(initial_graph(), rules)
+
+
+def test_important_atoms_fixpoint_on_swarm():
+    rules = bootstrap_rules()
+    tgds = [tgd for rule in rules for tgd in rule.tgds()]
+    swarm = initial_swarm()
+    seed = Atom(swarm_predicate(FULL_GREEN), (VERTEX_A, VERTEX_B))
+    important = important_atoms(swarm.structure(), tgds, [seed])
+    assert seed in important
+    minimal = minimal_submodel(swarm.structure(), tgds, [seed])
+    assert seed in minimal.atoms()

@@ -1,0 +1,157 @@
+"""Property-based tests (hypothesis) for the core invariants of the library."""
+
+from hypothesis import given, settings, strategies as st
+
+from repro.core.atoms import Atom
+from repro.core.homomorphism import has_homomorphism, is_homomorphism
+from repro.core.query import ConjunctiveQuery
+from repro.core.structure import Structure
+from repro.core.terms import Variable
+from repro.greenred.coloring import Color, dalt_structure, green_structure, swap_colors
+from repro.greenred.tq import build_tq, lemma4_holds
+from repro.spiders.algebra import applies_to, apply_query, spider_query
+from repro.spiders.ideal import IdealSpider
+from repro.rainworm.configuration import is_configuration
+from repro.rainworm.examples import forever_creeping_machine
+from repro.rainworm.simulator import run
+
+
+# ----------------------------------------------------------------------
+# Strategies
+# ----------------------------------------------------------------------
+elements = st.integers(min_value=0, max_value=5).map(str)
+predicates = st.sampled_from(["R", "S"])
+
+
+@st.composite
+def ground_atoms(draw):
+    predicate = draw(predicates)
+    return Atom(predicate, (draw(elements), draw(elements)))
+
+
+@st.composite
+def structures(draw):
+    atoms = draw(st.lists(ground_atoms(), min_size=0, max_size=8))
+    return Structure(atoms)
+
+
+leg_names = st.sampled_from(["1", "2", "p", "q", "r"])
+maybe_leg = st.one_of(st.none(), leg_names)
+
+
+@st.composite
+def ideal_spiders(draw):
+    color = draw(st.sampled_from([Color.GREEN, Color.RED]))
+    return IdealSpider(color, draw(maybe_leg), draw(maybe_leg))
+
+
+@st.composite
+def spider_queries(draw):
+    return spider_query(draw(maybe_leg), draw(maybe_leg))
+
+
+# ----------------------------------------------------------------------
+# Structure / homomorphism invariants
+# ----------------------------------------------------------------------
+@given(structures())
+@settings(max_examples=40, deadline=None)
+def test_identity_is_a_homomorphism(structure):
+    identity = {element: element for element in structure.domain()}
+    assert is_homomorphism(identity, structure, structure)
+
+
+@given(structures(), structures())
+@settings(max_examples=40, deadline=None)
+def test_substructure_always_maps_into_superstructure(first, second):
+    union = first.union(second)
+    assert has_homomorphism(first, union) or len(first.atoms()) == 0
+
+
+@given(structures(), st.dictionaries(elements, elements, max_size=6))
+@settings(max_examples=40, deadline=None)
+def test_renaming_images_are_homomorphic(structure, mapping):
+    renamed = structure.rename_elements(mapping)
+    total = {element: mapping.get(element, element) for element in structure.domain()}
+    assert is_homomorphism(total, structure, renamed)
+
+
+@given(structures())
+@settings(max_examples=40, deadline=None)
+def test_quotient_to_a_point_preserves_atom_predicates(structure):
+    collapsed = structure.quotient(lambda element: "•")
+    assert {a.predicate for a in collapsed.atoms()} == {
+        a.predicate for a in structure.atoms()
+    }
+
+
+# ----------------------------------------------------------------------
+# Green-red invariants
+# ----------------------------------------------------------------------
+@given(structures())
+@settings(max_examples=40, deadline=None)
+def test_daltonisation_undoes_painting(structure):
+    assert dalt_structure(green_structure(structure)).atoms() == structure.atoms()
+
+
+@given(structures())
+@settings(max_examples=40, deadline=None)
+def test_swap_colors_is_an_involution(structure):
+    painted = green_structure(structure)
+    assert swap_colors(swap_colors(painted)).atoms() == painted.atoms()
+
+
+@given(structures())
+@settings(max_examples=25, deadline=None)
+def test_lemma4_holds_on_random_colored_structures(structure):
+    view = ConjunctiveQuery(
+        "v", (Variable("x"),), (Atom("R", (Variable("x"), Variable("y"))),)
+    )
+    colored = green_structure(structure).union(
+        swap_colors(green_structure(structure))
+    )
+    assert lemma4_holds(colored, [view])
+    assert lemma4_holds(green_structure(structure), [view])
+
+
+@given(structures())
+@settings(max_examples=25, deadline=None)
+def test_tq_has_two_tgds_per_query(structure):
+    del structure  # the property is about the construction, not the data
+    view = ConjunctiveQuery(
+        "v", (Variable("x"),), (Atom("R", (Variable("x"), Variable("y"))),)
+    )
+    assert len(build_tq([view])) == 2
+
+
+# ----------------------------------------------------------------------
+# Spider algebra invariants (♣)
+# ----------------------------------------------------------------------
+@given(spider_queries(), ideal_spiders())
+@settings(max_examples=200, deadline=None)
+def test_club_flips_color_and_is_involutive(query, spider):
+    if not applies_to(query, spider):
+        return
+    produced = apply_query(query, spider)
+    assert produced.color is spider.color.opposite()
+    assert produced.upper == query.upper - spider.upper
+    assert produced.lower == query.lower - spider.lower
+    assert apply_query(query, produced) == spider
+
+
+@given(spider_queries())
+@settings(max_examples=50, deadline=None)
+def test_club_on_full_spider_reproduces_the_query_indices(query):
+    full_red = IdealSpider(Color.RED)
+    produced = apply_query(query, full_red)
+    assert produced.upper == query.upper and produced.lower == query.lower
+
+
+# ----------------------------------------------------------------------
+# Rainworm invariants (Lemma 20)
+# ----------------------------------------------------------------------
+@given(st.integers(min_value=0, max_value=45))
+@settings(max_examples=20, deadline=None)
+def test_every_reachable_rainworm_word_is_a_configuration(steps):
+    machine = forever_creeping_machine()
+    result = run(machine, steps)
+    assert is_configuration(result.final)

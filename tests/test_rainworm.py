@@ -1,0 +1,113 @@
+"""Tests for rainworm machines, the simulator and the concrete examples."""
+
+import pytest
+
+from repro.rainworm import (
+    ETA0,
+    ETA11,
+    GAMMA1,
+    Instruction,
+    InstructionForm,
+    RainwormError,
+    RainwormMachine,
+    anatomy,
+    applicable_rewrites,
+    creeps_at_least,
+    forever_creeping_machine,
+    halting_after_two_cycles_machine,
+    halting_computation,
+    halts_within,
+    immediately_halting_machine,
+    is_configuration,
+    run,
+    satisfies_shape_conditions,
+    step,
+    tape0,
+    tape1,
+)
+from repro.rainworm.machine import SymbolKind, state
+
+
+def test_instruction_form_validation():
+    with pytest.raises(RainwormError):
+        # ♦2 must produce an A0 cell, not an A1 cell.
+        Instruction(InstructionForm.D2, (ETA0,), (tape1("x"), ETA11))
+    good = Instruction(InstructionForm.D1, (ETA11,), (GAMMA1, ETA0))
+    assert good.form is InstructionForm.D1
+
+
+def test_machine_rejects_duplicate_left_hand_sides():
+    first = Instruction(InstructionForm.D1, (ETA11,), (GAMMA1, ETA0))
+    with pytest.raises(RainwormError):
+        RainwormMachine("dup", [first, first])
+
+
+def test_symbol_parities_follow_definition_19():
+    assert ETA11.is_odd
+    assert ETA0.is_even
+    assert GAMMA1.is_odd
+    assert tape0("x").is_even
+    assert tape1("x").is_odd
+    assert state("q", SymbolKind.STATE_RIGHT_1).is_odd
+
+
+def test_initial_configuration_is_alpha_eta11():
+    machine = forever_creeping_machine()
+    configuration = machine.initial_configuration()
+    assert [s.name for s in configuration] == ["α", "η11"]
+    assert is_configuration(configuration)
+
+
+def test_forever_machine_creeps_and_grows_its_trail():
+    machine = forever_creeping_machine()
+    result = run(machine, 80)
+    assert not result.halted
+    trail = result.trail_lengths()
+    assert trail[-1] > trail[0]
+    assert creeps_at_least(machine, 80)
+
+
+def test_lemma20_every_reachable_word_is_a_configuration():
+    machine = forever_creeping_machine()
+    result = run(machine, 60)
+    assert result.all_configurations_valid()
+    for configuration in result.trace:
+        assert satisfies_shape_conditions(configuration)
+
+
+def test_lemma22_determinism_along_the_run():
+    machine = forever_creeping_machine()
+    result = run(machine, 40)
+    for configuration in result.trace[:-1]:
+        assert len(applicable_rewrites(machine, configuration)) == 1
+
+
+def test_immediately_halting_machine():
+    machine = immediately_halting_machine()
+    assert halts_within(machine, 5)
+    final, steps = halting_computation(machine, 5)
+    assert steps == 1
+    assert [s.name for s in final] == ["α", "γ1", "η0"]
+
+
+def test_halting_after_two_cycles_machine():
+    machine = halting_after_two_cycles_machine()
+    final, steps = halting_computation(machine, 100)
+    parts = anatomy(final)
+    assert parts.trail_length >= 3  # the slime trail grew before halting
+    assert steps > 5
+    assert step(machine, final) is None
+
+
+def test_configuration_anatomy_of_running_machine():
+    machine = forever_creeping_machine()
+    result = run(machine, 25)
+    final = anatomy(result.final)
+    assert final.head() is not None
+    assert final.worm_length >= 2
+    assert final.head_position() is not None
+
+
+def test_halting_computation_raises_for_non_halting_machine():
+    with pytest.raises(RuntimeError):
+        halting_computation(forever_creeping_machine(), 30)

@@ -1,0 +1,80 @@
+"""Tests for the Turing machine substrate and the TM → rainworm compiler."""
+
+import pytest
+
+from repro.rainworm import (
+    Move,
+    bounded_counter_machine,
+    busy_little_machine,
+    encoding_statistics,
+    forever_walking_machine,
+    rainworm_from_turing,
+    run,
+    run_turing_machine,
+    tm_halts_within,
+    zigzag_machine,
+)
+from repro.rainworm.turing import BLANK, TMTransition, TuringMachine, tm_step, initial_tm_configuration
+
+
+def test_bounded_counter_machine_halts_after_expected_steps():
+    machine = bounded_counter_machine(3)
+    trace, halted = run_turing_machine(machine, 20)
+    assert halted
+    assert len(trace) - 1 == 3
+    assert trace[-1].tape == ("1", "1", "1")
+
+
+def test_forever_walking_machine_does_not_halt():
+    assert not tm_halts_within(forever_walking_machine(), 200)
+
+
+def test_busy_little_machine_halts_with_left_moves():
+    machine = busy_little_machine()
+    trace, halted = run_turing_machine(machine, 50)
+    assert halted
+    moves = len(trace) - 1
+    assert moves == 5
+
+
+def test_left_move_from_cell_zero_is_rejected():
+    machine = TuringMachine(
+        "bad",
+        "q0",
+        {("q0", BLANK): TMTransition("q0", "x", Move.LEFT)},
+    )
+    with pytest.raises(RuntimeError):
+        tm_step(machine, initial_tm_configuration(machine))
+
+
+def test_encoding_preserves_halting_for_halting_machines():
+    for machine, bound in ((bounded_counter_machine(2), 2_000), (busy_little_machine(), 6_000)):
+        rainworm = rainworm_from_turing(machine)
+        result = run(rainworm, bound)
+        assert result.halted, machine.name
+        assert result.all_configurations_valid()
+
+
+def test_encoding_preserves_non_halting_for_looping_machines():
+    for machine in (forever_walking_machine(), zigzag_machine(2)):
+        rainworm = rainworm_from_turing(machine)
+        result = run(rainworm, 1_500)
+        assert not result.halted, machine.name
+        assert result.all_configurations_valid()
+        # The slime trail keeps growing: one β per completed cycle.
+        lengths = result.trail_lengths()
+        assert lengths[-1] > lengths[0]
+
+
+def test_encoding_statistics_report():
+    stats = encoding_statistics(bounded_counter_machine(2))
+    assert stats["tm_states"] == 3
+    assert stats["rainworm_instructions"] > 50
+    assert stats["rainworm_symbols"] > 20
+
+
+def test_longer_turing_runs_give_longer_creeps():
+    short = run(rainworm_from_turing(bounded_counter_machine(1)), 3_000)
+    long = run(rainworm_from_turing(bounded_counter_machine(3)), 3_000)
+    assert short.halted and long.halted
+    assert long.steps > short.steps

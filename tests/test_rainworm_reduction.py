@@ -1,0 +1,95 @@
+"""Tests for the Section VIII reduction: T_M, the counter-model, Lemma 24/25."""
+
+from repro.greengraph import initial_graph, words
+from repro.rainworm import (
+    build_countermodel,
+    configuration_graph,
+    forever_creeping_machine,
+    halting_after_two_cycles_machine,
+    halting_computation,
+    immediately_halting_machine,
+    machine_rules,
+    reduction_rules,
+    run,
+    word_names,
+)
+from repro.reduction import (
+    creeping_direction_evidence,
+    halting_direction_evidence,
+    reduce_machine,
+)
+
+
+def test_machine_rules_count():
+    machine = forever_creeping_machine()
+    rules = machine_rules(machine)
+    # Two fixed rules plus one per instruction other than ♦1.
+    assert len(rules) == 2 + machine.instruction_count() - 1
+    assert len(reduction_rules(machine)) == len(rules) + 41
+
+
+def test_configuration_graph_reads_back_as_the_configuration():
+    machine = halting_after_two_cycles_machine()
+    final, _ = halting_computation(machine, 100)
+    graph = configuration_graph(final)
+    observed = words(graph, max_length=len(final) + 2)
+    assert word_names(final) in observed
+
+
+def test_lemma25_reachable_configurations_are_words_of_the_chase():
+    machine = forever_creeping_machine()
+    rules = machine_rules(machine)
+    chase = rules.chase(initial_graph(), max_stages=9, max_atoms=20_000)
+    observed = words(chase.graph(), max_length=24)
+    trace = run(machine, 7).trace
+    for configuration in trace:
+        assert word_names(configuration) in observed
+
+
+def test_chase_of_machine_rules_has_no_one_two_pattern():
+    machine = forever_creeping_machine()
+    chase = machine_rules(machine).chase(initial_graph(), max_stages=8, max_atoms=20_000)
+    assert chase.first_stage_with_one_two_pattern() is None
+
+
+def test_countermodel_for_halting_machine_is_valid():
+    report = build_countermodel(
+        halting_after_two_cycles_machine(), add_grids=True, grid_stages=8
+    )
+    assert report.satisfies_machine_rules
+    assert report.beta_edges_only_initial
+    assert report.grid_pattern_free
+    assert report.is_valid
+    assert report.countermodel.contains_empty_edge()
+    assert not report.countermodel.contains_one_two_pattern()
+
+
+def test_countermodel_for_immediately_halting_machine():
+    report = build_countermodel(
+        immediately_halting_machine(), add_grids=True, grid_stages=6
+    )
+    assert report.is_valid
+    assert report.steps == 1
+
+
+def test_halting_direction_evidence():
+    evidence = halting_direction_evidence(halting_after_two_cycles_machine())
+    assert evidence.supports_lemma24
+
+
+def test_creeping_direction_evidence():
+    evidence = creeping_direction_evidence(
+        forever_creeping_machine(), simulate_steps=7, chase_stages=9
+    )
+    assert evidence.configurations_found_as_words == evidence.configurations_checked
+    assert evidence.merged_paths_pattern
+    assert evidence.supports_lemma24
+
+
+def test_reduction_instance_sizes_are_consistent():
+    instance = reduce_machine(immediately_halting_machine())
+    sizes = instance.sizes()
+    assert sizes["views"] == sizes["level1_rules"]
+    assert sizes["green_graph_rules"] == sizes["machine_rules"] + 41
+    assert sizes["view_atoms"] > sizes["views"]
+    assert len(instance.query.atoms) == 1 + 4 * sizes["universe_legs"]

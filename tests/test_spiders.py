@@ -1,0 +1,141 @@
+"""Unit tests for ideal spiders, the Rule of Spider Algebra and the anatomy."""
+
+import pytest
+
+from repro.greenred.coloring import Color
+from repro.greengraph.labels import EMPTY, Label
+from repro.spiders import (
+    FULL_GREEN,
+    FULL_RED,
+    IdealSpider,
+    SpiderError,
+    SpiderUniverse,
+    applicable_spiders,
+    application_table,
+    applies_to,
+    apply_query,
+    binary_spider_query,
+    classify_head,
+    contains_full_spider,
+    green_spider,
+    ideal_spider_structure,
+    is_involutive_pair,
+    label_for_spider,
+    real_spiders,
+    red_spider,
+    spider_for_label,
+    spider_query,
+    spider_signature,
+    unary_spider_query,
+)
+from repro.spiders.queries import BinaryKind
+
+UNIVERSE = SpiderUniverse(("1", "2", "3", "p", "q"))
+
+
+def test_ideal_spider_rejects_two_off_colour_legs_on_one_side():
+    with pytest.raises(SpiderError):
+        IdealSpider(Color.GREEN, ("1", "2"), None)
+
+
+def test_universe_counts_match_paper_formula():
+    s = UNIVERSE.size
+    assert len(UNIVERSE.all_spiders()) == 2 * (s + 1) * (s + 1)
+    assert len(UNIVERSE.a2_spiders()) == s + 1
+
+
+def test_a2_bijection_with_labels():
+    assert spider_for_label(EMPTY) == FULL_GREEN
+    assert spider_for_label(Label("p")) == green_spider("p")
+    assert label_for_spider(green_spider("p")).name == "p"
+    with pytest.raises(SpiderError):
+        label_for_spider(red_spider("p"))
+
+
+def test_spider_algebra_rule_club():
+    query = spider_query("1", "2")
+    assert applies_to(query, FULL_RED)
+    assert apply_query(query, FULL_RED) == green_spider("1", "2")
+    assert apply_query(query, red_spider("1")) == green_spider(None, "2")
+    assert apply_query(query, red_spider("1", "2")) == FULL_GREEN
+    assert apply_query(query, green_spider("1", "2")) == FULL_RED
+
+
+def test_spider_algebra_rejects_non_matching_spider():
+    query = spider_query("1", None)
+    assert not applies_to(query, red_spider("2"))
+    with pytest.raises(SpiderError):
+        apply_query(query, red_spider("2"))
+
+
+def test_spider_algebra_is_involutive():
+    query = spider_query("1", "2")
+    for spider, _ in application_table(query, UNIVERSE):
+        assert is_involutive_pair(query, spider)
+
+
+def test_applicable_spiders_count():
+    # f^{1}_{2} applies to spiders whose off-colour legs are within {1} / {2}:
+    # 2 choices upstairs, 2 downstairs, 2 colours.
+    assert len(applicable_spiders(spider_query("1", "2"), UNIVERSE)) == 8
+
+
+def test_spider_signature_size():
+    signature = spider_signature(UNIVERSE)
+    # One head predicate plus thigh and calf per leg and side.
+    assert len(signature) == 1 + 4 * UNIVERSE.size
+
+
+def test_real_spider_classification_roundtrip():
+    for species in (FULL_GREEN, FULL_RED, green_spider("1", "2"), red_spider("p")):
+        structure = ideal_spider_structure(UNIVERSE, species)
+        found = real_spiders(structure, UNIVERSE)
+        assert len(found) == 1
+        assert found[0].species == species
+
+
+def test_contains_full_spider():
+    structure = ideal_spider_structure(UNIVERSE, FULL_GREEN)
+    assert contains_full_spider(structure, UNIVERSE, Color.GREEN)
+    assert not contains_full_spider(structure, UNIVERSE, Color.RED)
+
+
+def test_incomplete_spider_is_not_classified():
+    structure = ideal_spider_structure(UNIVERSE, FULL_GREEN)
+    # Remove one calf: the head no longer yields a real spider.
+    calf_atom = next(
+        atom for atom in structure.atoms() if "UC[1]" in atom.predicate
+    )
+    structure.remove_atom(calf_atom)
+    head_atom = next(
+        atom for atom in structure.atoms() if "SpiderHead" in atom.predicate
+    )
+    assert classify_head(structure, UNIVERSE, head_atom) is None
+
+
+def test_unary_query_free_variables():
+    query = unary_spider_query(UNIVERSE, spider_query("1", "2"))
+    # Tail, antenna and the two knees of the omitted calves are free.
+    assert query.arity == 4
+    # All thighs present, calves omitted exactly for the two off legs.
+    thigh_count = sum(1 for a in query.atoms if "T[" in a.predicate)
+    calf_count = sum(1 for a in query.atoms if "C[" in a.predicate)
+    assert thigh_count == 2 * UNIVERSE.size
+    assert calf_count == 2 * UNIVERSE.size - 2
+
+
+def test_binary_query_shared_antenna_and_tail():
+    shared_antenna = binary_spider_query(
+        UNIVERSE, BinaryKind.SHARED_ANTENNA, spider_query("1"), spider_query("2")
+    )
+    shared_tail = binary_spider_query(
+        UNIVERSE, BinaryKind.SHARED_TAIL, spider_query("1"), spider_query("2")
+    )
+    # & : the two tails are free, the shared antenna is quantified.
+    assert len(shared_antenna.free_variables) == 4
+    assert len(shared_tail.free_variables) == 4
+    assert len(shared_antenna.variables()) == len(shared_tail.variables())
+    head_atoms = [a for a in shared_antenna.atoms if "SpiderHead" in a.predicate]
+    assert len(head_atoms) == 2
+    # Shared antenna: the third argument of the two head atoms coincides.
+    assert head_atoms[0].args[2] == head_atoms[1].args[2]

@@ -1,0 +1,166 @@
+"""Unit tests for swarms (Level 1), Compile/Precompile and the level translations."""
+
+from repro.greenred.coloring import Color
+from repro.greengraph import EMPTY, GreenGraphRuleSet, and_rule, even, initial_graph, odd
+from repro.greengraph.precompile import bootstrap_rules, precompile
+from repro.spiders import (
+    FULL_GREEN,
+    FULL_RED,
+    SpiderUniverse,
+    compile_decompile_roundtrip,
+    compile_swarm,
+    decompile_structure,
+    green_spider,
+    red_spider,
+    spider_query,
+)
+from repro.swarm import (
+    Swarm,
+    SwarmRuleSet,
+    compile_rules,
+    deprecompile_swarm,
+    initial_swarm,
+    precompile_structure,
+    shared_antenna_rule,
+    shared_tail_rule,
+    swarm_from_green_graph,
+    universe_for_rules,
+)
+
+
+def test_initial_swarm_contains_green_not_red_spider():
+    swarm = initial_swarm()
+    assert swarm.contains_green_spider()
+    assert not swarm.contains_red_spider()
+
+
+def test_swarm_edges_and_species_roundtrip():
+    swarm = Swarm()
+    swarm.add_edge(red_spider("p", "7"), "u", "v")
+    rebuilt = Swarm.from_structure(swarm.structure())
+    assert set(rebuilt.edges()) == set(swarm.edges())
+    assert rebuilt.species_of(red_spider("p", "7").key()) == red_spider("p", "7")
+
+
+def test_swarm_rule_expansion_counts():
+    rule = shared_antenna_rule(spider_query("p", "5"), spider_query("q", "6"))
+    # Sixteen subset combinations times two colours.
+    assert len(rule.tgds()) == 32
+    lower = shared_tail_rule(spider_query(None, "5"), spider_query("q", "6"))
+    assert len(lower.tgds()) == 16
+    assert lower.is_lower()
+    assert not shared_antenna_rule(spider_query("p"), spider_query("q", "6")).is_lower()
+
+
+def test_swarm_rule_chase_produces_opposite_colour_pair():
+    rule = shared_antenna_rule(spider_query(None, "5"), spider_query(None, "6"))
+    rules = SwarmRuleSet([rule])
+    outcome = rules.chase(initial_swarm(), max_stages=1)
+    swarm = outcome.swarm()
+    produced = {edge.species_key for edge in swarm.edges()}
+    assert red_spider(None, "5").key() in produced
+    assert red_spider(None, "6").key() in produced
+
+
+def test_bootstrap_rules_turn_one_two_pattern_into_red_spider():
+    # Footnote 10: from a 1-2 pattern the three bootstrap rules produce the
+    # full red spider in three steps.
+    swarm = Swarm()
+    swarm.add_edge(green_spider("1"), "x", "y")
+    swarm.add_edge(green_spider("2"), "x2", "y")
+    rules = SwarmRuleSet(bootstrap_rules())
+    outcome = rules.chase(swarm, max_stages=4)
+    assert outcome.first_stage_with_red_spider() is not None
+    assert outcome.swarm().contains_red_spider()
+
+
+def test_bootstrap_rules_alone_do_not_create_red_spider_from_green():
+    rules = SwarmRuleSet(bootstrap_rules())
+    outcome = rules.chase(initial_swarm(), max_stages=4)
+    assert outcome.first_stage_with_red_spider() is None
+
+
+def test_precompile_counts_rules():
+    level2 = GreenGraphRuleSet(
+        [and_rule(EMPTY, EMPTY, even("α"), odd("η1"), name="I")]
+    )
+    level1 = precompile(level2)
+    # Three bootstrap rules plus two per Level-2 rule.
+    assert len(level1) == 5
+
+
+def test_compile_produces_one_query_per_rule():
+    level2 = GreenGraphRuleSet(
+        [and_rule(EMPTY, EMPTY, even("α"), odd("η1"), name="I")]
+    )
+    level1 = precompile(level2)
+    queries = compile_rules(level1)
+    assert len(queries) == len(level1)
+    assert all(query.atoms for query in queries)
+
+
+def test_universe_for_rules_collects_all_indices():
+    level2 = GreenGraphRuleSet(
+        [and_rule(EMPTY, EMPTY, even("α"), odd("η1"), name="I")]
+    )
+    level1 = precompile(level2)
+    universe = universe_for_rules(level1.rules)
+    for name in ("1", "2", "3", "4", "α", "η1", "5", "6"):
+        assert name in universe.legs
+
+
+def test_compile_decompile_roundtrip_lemma30():
+    universe = SpiderUniverse(("1", "2", "p", "q"))
+    swarm = initial_swarm()
+    swarm.add_edge(red_spider("p", "q"), "u", "v")
+    swarm.add_edge(green_spider("1"), "u", "w")
+    recovered, same = compile_decompile_roundtrip(swarm, universe)
+    assert same
+    assert set(recovered.edges()) == set(swarm.edges())
+
+
+def test_compile_creates_shared_knees_per_class():
+    universe = SpiderUniverse(("p",))
+    swarm = Swarm()
+    swarm.add_edge(FULL_GREEN, "t1", "a1")
+    swarm.add_edge(FULL_GREEN, "t2", "a2")
+    compiled = compile_swarm(swarm, universe)
+    # Two green spiders with identical leg colours share their knees.
+    knees = [e for e in compiled.domain() if isinstance(e, str) and e.startswith("knee::")]
+    assert len(knees) == 2  # one upper, one lower class
+    recovered = decompile_structure(compiled, universe)
+    assert recovered.edge_count() == 2
+    assert {e.species_key for e in recovered.edges()} == {FULL_GREEN.key()}
+
+
+def test_swarm_green_graph_views():
+    graph = initial_graph()
+    graph.add_edge(even("α"), "a", "b1")
+    swarm = swarm_from_green_graph(graph)
+    assert swarm.contains_green_spider()
+    back = deprecompile_swarm(swarm)
+    assert back.has_edge("α", "a", "b1")
+    # Non-A2 edges are dropped by deprecompile.
+    swarm.add_edge(FULL_RED, "a", "b1")
+    swarm.add_edge(green_spider(None, "9"), "a", "b1")
+    filtered = deprecompile_swarm(swarm)
+    assert filtered.edge_count() == back.edge_count()
+
+
+def test_precompile_structure_adds_only_red_witnesses():
+    level2 = GreenGraphRuleSet(
+        [and_rule(EMPTY, EMPTY, even("α"), odd("η1"), name="I")]
+    )
+    level1 = precompile(level2)
+    swarm = precompile_structure(initial_graph(), level1)
+    colors = {
+        swarm.species_of(edge.species_key).color
+        for edge in swarm.edges()
+        if swarm.species_of(edge.species_key) is not None
+    }
+    assert Color.GREEN in colors
+    new_edges = [e for e in swarm.edges() if e.species_key != FULL_GREEN.key()]
+    assert new_edges
+    assert all(
+        swarm.species_of(e.species_key).color is Color.RED for e in new_edges
+    )
