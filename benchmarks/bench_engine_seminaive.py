@@ -1,0 +1,104 @@
+"""E16: semi-naive engine vs reference chase — perf trajectory as JSON.
+
+Each row printed by this module is a single JSON object, so the output can be
+collected across commits into a perf trajectory:
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_engine_seminaive.py \
+        --benchmark-disable -q -s | grep '"experiment": "E16"'
+
+The speedup rows also assert the acceptance bar of the engine subsystem: the
+semi-naive engine must be at least 3× faster than the reference on the
+largest compared configuration (in practice it is two orders of magnitude).
+"""
+
+import json
+import time
+
+import pytest
+
+from repro.chase import chase, parse_tgds
+from repro.core.builders import structure_from_text
+from repro.engine import run_chase
+from repro.separating.t_infinity import t_infinity_rules
+from repro.greengraph.graph import initial_graph
+
+
+def _chain_instance(length: int):
+    facts = ", ".join(f"R({i},{i + 1})" for i in range(length))
+    return structure_from_text(facts)
+
+
+_TC_RULES = ("R(x,y), R(y,z) -> S(x,z)", "S(x,y), R(y,z) -> S(x,z)")
+
+#: (chain length, whether the reference engine is also timed).  The reference
+#: is O(stages × |D|²) on this workload and becomes unreasonably slow beyond
+#: length 40, so the trajectory keeps growing on the semi-naive engine alone.
+TRAJECTORY = ((10, True), (20, True), (40, True), (80, False), (120, False))
+
+#: The speedup bar asserted on the largest configuration both engines run.
+MIN_SPEEDUP = 3.0
+
+
+@pytest.mark.experiment("E16")
+@pytest.mark.parametrize("length,compare", TRAJECTORY)
+def test_engine_trajectory_on_chains(benchmark, length, compare, report_lines):
+    tgds = parse_tgds(*_TC_RULES)
+    instance = _chain_instance(length)
+    result = benchmark(run_chase, tgds, instance, 200, 500_000)
+    assert result.reached_fixpoint
+    started = time.perf_counter()
+    seminaive_result = run_chase(tgds, instance, 200, 500_000)
+    seminaive_seconds = time.perf_counter() - started
+    row = {
+        "experiment": "E16",
+        "workload": "transitive-closure-chain",
+        "length": length,
+        "stages": seminaive_result.stages_run,
+        "atoms": len(seminaive_result.structure.atoms()),
+        "seminaive_seconds": round(seminaive_seconds, 6),
+    }
+    if compare:
+        started = time.perf_counter()
+        reference_result = chase(tgds, instance, 200, 500_000)
+        reference_seconds = time.perf_counter() - started
+        assert (
+            reference_result.structure.atoms()
+            == seminaive_result.structure.atoms()
+        )
+        row["reference_seconds"] = round(reference_seconds, 6)
+        speedup = reference_seconds / max(seminaive_seconds, 1e-9)
+        row["speedup"] = round(speedup, 2)
+        if length == max(n for n, c in TRAJECTORY if c):
+            assert speedup >= MIN_SPEEDUP
+    report_lines(json.dumps(row))
+
+
+@pytest.mark.experiment("E16")
+def test_engine_trajectory_on_figure1(benchmark, report_lines):
+    """The paper's own workload: chasing T∞ from DI (Figure 1)."""
+    tgds = t_infinity_rules().tgds()
+    instance = initial_graph().structure()
+    stages = 60
+    result = benchmark(run_chase, tgds, instance, stages, 100_000)
+    started = time.perf_counter()
+    seminaive_result = run_chase(tgds, instance, stages, 100_000)
+    seminaive_seconds = time.perf_counter() - started
+    started = time.perf_counter()
+    reference_result = chase(tgds, instance, stages, 100_000)
+    reference_seconds = time.perf_counter() - started
+    assert reference_result.structure.atoms() == seminaive_result.structure.atoms()
+    report_lines(
+        json.dumps(
+            {
+                "experiment": "E16",
+                "workload": "figure1-t-infinity",
+                "stages": stages,
+                "atoms": len(seminaive_result.structure.atoms()),
+                "seminaive_seconds": round(seminaive_seconds, 6),
+                "reference_seconds": round(reference_seconds, 6),
+                "speedup": round(
+                    reference_seconds / max(seminaive_seconds, 1e-9), 2
+                ),
+            }
+        )
+    )

@@ -8,6 +8,8 @@ every construction the paper uses:
 * a relational / conjunctive-query substrate with homomorphisms and views
   (:mod:`repro.core`);
 * tuple-generating dependencies and the lazy chase (:mod:`repro.chase`);
+* a semi-naive, delta-driven, indexed chase engine (:mod:`repro.engine`)
+  that every chase-heavy construction runs on by default;
 * the green-red reformulation of determinacy (:mod:`repro.greenred`);
 * the spider machinery of [GM15] reconstructed at Abstraction Level 0
   (:mod:`repro.spiders`), swarms at Level 1 (:mod:`repro.swarm`) and green

@@ -30,7 +30,13 @@ from ..core.structure import Structure
 from ..core.terms import FreshNullFactory
 from .provenance import ChaseProvenance, ChaseStep
 from .tgd import TGD
-from .trigger import Trigger, find_triggers, fire_trigger, head_satisfied
+from .trigger import (
+    Trigger,
+    apply_trigger,
+    find_triggers,
+    head_satisfied,
+    trigger_sort_key,
+)
 
 
 class ChaseBudgetExceeded(RuntimeError):
@@ -117,7 +123,7 @@ class ChaseEngine:
                 if self.keep_snapshots:
                     snapshots.pop()
                 break
-            if self.max_atoms is not None and len(current.atoms()) > self.max_atoms:
+            if self.max_atoms is not None and len(current) > self.max_atoms:
                 if self.raise_on_budget:
                     raise ChaseBudgetExceeded(
                         f"chase exceeded the atom budget of {self.max_atoms}"
@@ -132,11 +138,46 @@ class ChaseEngine:
         )
 
     # ------------------------------------------------------------------
+    def iter_stages(self, instance: Structure) -> Iterator[Structure]:
+        """Yield the chase stages lazily (stage 0 first), as they are computed.
+
+        Unlike :meth:`run`, which computes the whole bounded chase before
+        returning, this generator performs one stage per ``next()`` call, so a
+        caller can stop early (e.g. as soon as a pattern appears) without
+        paying for the rest of the run.  Each yielded structure is a private
+        copy.  Budget semantics mirror :meth:`run`: with ``raise_on_budget``
+        the :class:`ChaseBudgetExceeded` is raised as soon as the offending
+        stage has been computed (before it is yielded); otherwise the
+        over-budget stage is the last one yielded.
+        """
+        current = instance.copy(
+            name=f"chase({instance.name})" if instance.name else "chase"
+        )
+        null_factory = FreshNullFactory()
+        yield current.copy(name="chase_0")
+        stage = 0
+        while self.max_stages is None or stage < self.max_stages:
+            stage += 1
+            # No provenance: the generator exposes only the snapshots, and a
+            # long iteration must not accumulate an unreachable step record.
+            fired = self._run_stage(current, null_factory, None, stage)
+            if not fired:
+                return
+            over_budget = self.max_atoms is not None and len(current) > self.max_atoms
+            if over_budget and self.raise_on_budget:
+                raise ChaseBudgetExceeded(
+                    f"chase exceeded the atom budget of {self.max_atoms}"
+                )
+            yield current.copy(name=f"chase_{stage}")
+            if over_budget:
+                return
+
+    # ------------------------------------------------------------------
     def _run_stage(
         self,
         current: Structure,
         null_factory: FreshNullFactory,
-        provenance: ChaseProvenance,
+        provenance: Optional[ChaseProvenance],
         stage: int,
     ) -> bool:
         """Run one stage; return ``True`` when at least one trigger fired."""
@@ -146,28 +187,30 @@ class ChaseEngine:
             # Body matches are looked for in the structure as it was at the
             # start of the stage (the paper's "b̄ ranges over elements of
             # chase_i"), head satisfaction is re-checked in the growing D.
-            for trigger in find_triggers(
-                tgd, frozen_start, active_only=False, satisfaction_structure=current
-            ):
+            # Triggers fire in canonical order so that runs are reproducible
+            # and the semi-naive engine (repro.engine) can match them exactly.
+            triggers = sorted(
+                find_triggers(
+                    tgd, frozen_start, active_only=False, satisfaction_structure=current
+                ),
+                key=lambda t: trigger_sort_key(t.frontier_image),
+            )
+            for trigger in triggers:
                 if head_satisfied(tgd, current, trigger.frontier_assignment):
                     continue
-                before_elements = current.domain()
-                new_atoms, fresh = fire_trigger(trigger, current, null_factory)
-                if not new_atoms:
+                outcome = apply_trigger(trigger, current, null_factory)
+                if not outcome.new_atoms:
                     continue
                 fired_any = True
-                new_elements = tuple(
-                    element
-                    for element in current.domain() - before_elements
-                )
-                provenance.record(
-                    ChaseStep(
-                        stage=stage,
-                        trigger=trigger,
-                        new_atoms=tuple(new_atoms),
-                        new_elements=new_elements,
+                if provenance is not None:
+                    provenance.record(
+                        ChaseStep(
+                            stage=stage,
+                            trigger=trigger,
+                            new_atoms=outcome.new_atoms,
+                            new_elements=outcome.new_elements,
+                        )
                     )
-                )
         return fired_any
 
 
@@ -223,7 +266,10 @@ def chase_fixpoint(
 def iterate_chase(
     tgds: Sequence[TGD], instance: Structure, max_stages: int
 ) -> Iterator[Structure]:
-    """Yield chase stages one by one (stage 0 first), up to *max_stages*."""
+    """Yield chase stages one by one (stage 0 first), up to *max_stages*.
+
+    A true generator: each stage is computed only when the caller asks for
+    it, so breaking out of the loop early skips the remaining stages.
+    """
     engine = ChaseEngine(tgds=list(tgds), max_stages=max_stages)
-    result = engine.run(instance)
-    yield from result.stage_snapshots
+    return engine.iter_stages(instance)

@@ -54,6 +54,23 @@ def _frontier_key(tgd: TGD, assignment: Mapping[object, object]) -> Tuple[Tuple[
     return tuple((var, assignment[var]) for var in frontier)
 
 
+def frontier_key(tgd: TGD, assignment: Mapping[object, object]) -> Tuple[Tuple[object, object], ...]:
+    """The canonical frontier binding of *assignment* (public alias)."""
+    return _frontier_key(tgd, assignment)
+
+
+def trigger_sort_key(frontier_image: Tuple[Tuple[object, object], ...]) -> str:
+    """A canonical, hash-seed-independent ordering key for triggers.
+
+    Both the reference :class:`~repro.chase.chase.ChaseEngine` and the
+    semi-naive engine of :mod:`repro.engine` fire the triggers of a TGD in
+    ascending order of this key, which makes chase runs reproducible across
+    processes (set iteration order is not) and makes the two engines produce
+    bit-identical structures, null names and provenance.
+    """
+    return repr(frontier_image)
+
+
 def head_satisfied(
     tgd: TGD, structure: Structure, frontier_assignment: Mapping[object, object]
 ) -> bool:
@@ -90,31 +107,74 @@ def find_triggers(
         yield Trigger(tgd, key)
 
 
+@dataclass(frozen=True)
+class FiringOutcome:
+    """Everything a chase engine needs to know about one trigger firing.
+
+    ``new_elements`` are the domain elements that *structure* gained from the
+    firing — the fresh nulls plus any head constants not previously present —
+    computed with O(1) membership checks instead of a full domain rebuild.
+    """
+
+    new_atoms: Tuple[Atom, ...]
+    fresh_nulls: Tuple[Tuple[object, LabeledNull], ...]
+    new_elements: Tuple[object, ...]
+
+    @property
+    def fresh(self) -> Dict[object, LabeledNull]:
+        """The existential-variable → fresh-null mapping as a dictionary."""
+        return dict(self.fresh_nulls)
+
+
+def apply_trigger(
+    trigger: Trigger,
+    structure: Structure,
+    null_factory: FreshNullFactory,
+) -> FiringOutcome:
+    """Apply a trigger to *structure* in place, reporting the full outcome.
+
+    This is the paper's ``D := D(T, b̄)`` step: every existential variable of
+    the TGD gets a fresh labelled null, and the instantiated head atoms are
+    added to *structure*.
+    """
+    tgd = trigger.tgd
+    assignment: Dict[object, object] = dict(trigger.frontier_image)
+    fresh: List[Tuple[object, LabeledNull]] = []
+    for variable in sorted(tgd.existential_variables(), key=lambda v: v.name):
+        null = null_factory.fresh(hint=variable.name)
+        fresh.append((variable, null))
+        assignment[variable] = null
+    new_atoms: List[Atom] = []
+    new_elements: List[object] = []
+    seen_new: set = set()
+    for atom in tgd.head:
+        ground = atom.substitute(assignment)
+        for arg in ground.args:
+            if arg not in seen_new and not structure.has_element(arg):
+                seen_new.add(arg)
+                new_elements.append(arg)
+        if structure.add_atom(ground):
+            new_atoms.append(ground)
+    return FiringOutcome(
+        new_atoms=tuple(new_atoms),
+        fresh_nulls=tuple(fresh),
+        new_elements=tuple(new_elements),
+    )
+
+
 def fire_trigger(
     trigger: Trigger,
     structure: Structure,
     null_factory: FreshNullFactory,
 ) -> Tuple[List[Atom], Dict[object, LabeledNull]]:
-    """Apply a trigger to *structure* in place.
+    """Apply a trigger to *structure* in place (compatibility wrapper).
 
     Returns the list of atoms that were genuinely new and the mapping of the
-    TGD's existential variables to the fresh nulls created for them.  (The
-    atoms are added to *structure* as a side effect, exactly like the paper's
-    ``D := D(T, b̄)`` step.)
+    TGD's existential variables to the fresh nulls created for them; see
+    :func:`apply_trigger` for the richer outcome record.
     """
-    tgd = trigger.tgd
-    assignment: Dict[object, object] = dict(trigger.frontier_image)
-    fresh: Dict[object, LabeledNull] = {}
-    for variable in sorted(tgd.existential_variables(), key=lambda v: v.name):
-        null = null_factory.fresh(hint=variable.name)
-        fresh[variable] = null
-        assignment[variable] = null
-    new_atoms: List[Atom] = []
-    for atom in tgd.head:
-        ground = atom.substitute(assignment)
-        if structure.add_atom(ground):
-            new_atoms.append(ground)
-    return new_atoms, fresh
+    outcome = apply_trigger(trigger, structure, null_factory)
+    return list(outcome.new_atoms), outcome.fresh
 
 
 def all_active_triggers(

@@ -53,7 +53,7 @@ class HomomorphismProblem:
         for atom in self.source_atoms:
             if atom.predicate not in self._candidates:
                 self._candidates[atom.predicate] = tuple(
-                    target.atoms_with_predicate(atom.predicate)
+                    target.iter_atoms_with_predicate(atom.predicate)
                 )
 
     def _candidate_atoms(self, predicate: str) -> tuple:

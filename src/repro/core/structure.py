@@ -28,6 +28,7 @@ from typing import (
     FrozenSet,
     Iterable,
     Iterator,
+    List,
     Mapping,
     Optional,
     Set,
@@ -37,6 +38,23 @@ from typing import (
 from .atoms import Atom
 from .signature import Signature
 from .terms import Constant
+
+
+class StructureListener:
+    """Observer protocol for incremental maintenance of derived data.
+
+    Indexes (see :mod:`repro.engine.indexes`) attach themselves to a structure
+    and are told about every atom mutation, which lets them stay in sync
+    without rescanning the atom set.  Listeners are deliberately *not* carried
+    over by :meth:`Structure.copy`: a copy is a fresh structure and whoever
+    needs an index on it attaches a fresh one.
+    """
+
+    def atom_added(self, atom: Atom) -> None:  # pragma: no cover - protocol
+        """Called after *atom* was genuinely added."""
+
+    def atom_removed(self, atom: Atom) -> None:  # pragma: no cover - protocol
+        """Called after *atom* was genuinely removed."""
 
 
 class Structure:
@@ -55,6 +73,7 @@ class Structure:
         self._by_predicate: Dict[str, Set[Atom]] = defaultdict(set)
         self._by_element: Dict[object, Set[Atom]] = defaultdict(set)
         self._domain: Set[object] = set()
+        self._listeners: List["StructureListener"] = []
         if signature is not None:
             for constant in signature.constants:
                 self._domain.add(constant)
@@ -91,6 +110,23 @@ class Structure:
     def atoms_with_predicate(self, predicate: str) -> FrozenSet[Atom]:
         """All atoms whose predicate is *predicate*."""
         return frozenset(self._by_predicate.get(predicate, ()))
+
+    def iter_atoms_with_predicate(self, predicate: str) -> Iterator[Atom]:
+        """Iterate over the atoms with *predicate* without materialising a set.
+
+        The iterator reads the live internal index; callers that mutate the
+        structure while iterating must materialise first (as
+        :meth:`atoms_with_predicate` does).
+        """
+        return iter(self._by_predicate.get(predicate, ()))
+
+    def count_atoms_with_predicate(self, predicate: str) -> int:
+        """Number of atoms with *predicate* (O(1))."""
+        return len(self._by_predicate.get(predicate, ()))
+
+    def has_element(self, element: object) -> bool:
+        """``element ∈ dom(D)`` without materialising the domain frozenset."""
+        return element in self._domain
 
     def atoms_containing(self, element: object) -> FrozenSet[Atom]:
         """All atoms having *element* among their arguments."""
@@ -138,6 +174,9 @@ class Structure:
         for arg in atom.args:
             self._domain.add(arg)
             self._by_element[arg].add(atom)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.atom_added(atom)
         return True
 
     def add_atoms(self, atoms: Iterable[Atom]) -> int:
@@ -163,7 +202,24 @@ class Structure:
         self._by_predicate[atom.predicate].discard(atom)
         for arg in atom.args:
             self._by_element[arg].discard(atom)
+        if self._listeners:
+            for listener in self._listeners:
+                listener.atom_removed(atom)
         return True
+
+    # ------------------------------------------------------------------
+    # Listeners (incremental index maintenance)
+    # ------------------------------------------------------------------
+    def add_listener(self, listener: StructureListener) -> None:
+        """Attach *listener*; it will be told about every atom mutation."""
+        self._listeners.append(listener)
+
+    def remove_listener(self, listener: StructureListener) -> None:
+        """Detach *listener* (no-op when it was not attached)."""
+        try:
+            self._listeners.remove(listener)
+        except ValueError:
+            pass
 
     # ------------------------------------------------------------------
     # Relationships

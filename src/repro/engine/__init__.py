@@ -1,0 +1,160 @@
+"""High-performance chase engines (semi-naive, delta-driven, indexed).
+
+This subsystem is the production engine room behind every chase-shaped
+construction in the library — Figure 1, the late chase of Section IX, the
+Section VIII.E counter-model, the Theorem 1 reduction pipeline.  It contains
+
+* :mod:`~repro.engine.indexes` — incremental per-(predicate, position,
+  value) atom indexes maintained through structure listeners;
+* :mod:`~repro.engine.delta` — semi-naive trigger discovery: at stage
+  ``i+1`` only body matches using at least one stage-``i`` atom are
+  enumerated;
+* :mod:`~repro.engine.seminaive` — :class:`SemiNaiveChaseEngine`, a drop-in
+  replacement for the reference engine with identical output;
+* :mod:`~repro.engine.strategies` — pluggable lazy / oblivious /
+  semi-oblivious firing policies with atom/stage budgets.
+
+Heavy consumers select an engine through the shared ``engine=`` parameter
+(accepted by :func:`run_chase`, ``GreenGraphRuleSet.chase``,
+``SwarmRuleSet.chase``, ``chase_fragments``, ``build_countermodel``, …),
+which defaults to the semi-naive engine.  The reference implementation in
+:mod:`repro.chase.chase` stays authoritative for differential testing:
+``engine="reference"`` selects it explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import Optional, Sequence, Union
+
+from ..chase.chase import ChaseEngine, ChaseResult
+from ..chase.tgd import TGD
+from ..core.structure import Structure
+from .delta import delta_body_matches, delta_frontier_keys, head_satisfied_indexed
+from .indexes import AtomIndex
+from .seminaive import SemiNaiveChaseEngine
+from .strategies import (
+    FiringStrategy,
+    min_bound,
+    lazy_strategy,
+    oblivious_strategy,
+    resolve_strategy,
+    semi_oblivious_strategy,
+)
+
+#: Name of the engine used when callers pass ``engine=None``.
+DEFAULT_ENGINE = "seminaive"
+
+#: Accepted values of the shared ``engine=`` parameter.
+EngineSpec = Union[None, str, ChaseEngine, SemiNaiveChaseEngine]
+
+_SEMINAIVE_NAMES = frozenset({"seminaive", "semi-naive", "semi_naive", "delta"})
+_REFERENCE_NAMES = frozenset({"reference", "naive", "lazy-reference"})
+
+
+def make_engine(
+    engine: EngineSpec,
+    tgds: Sequence[TGD],
+    max_stages: Optional[int] = None,
+    max_atoms: Optional[int] = None,
+    keep_snapshots: bool = True,
+    strategy=None,
+):
+    """Resolve the shared ``engine=`` parameter into a ready-to-run engine.
+
+    ``engine`` may be ``None`` (the default semi-naive engine), one of the
+    names ``"seminaive"`` / ``"reference"``, or an already-constructed engine
+    instance.  An instance contributes its *kind* and configuration (firing
+    strategy, ``raise_on_budget``) but is re-bound to the call site's
+    workload: the ``tgds`` and ``keep_snapshots`` come from the caller, and
+    the stage/atom budgets are *intersected* (the tighter bound wins), so
+    neither the wrapper's safety budgets nor the instance's own are ever
+    silently discarded.
+    """
+    if engine is None:
+        engine = DEFAULT_ENGINE
+    if isinstance(engine, (ChaseEngine, SemiNaiveChaseEngine)):
+        if strategy is not None:
+            if not isinstance(engine, SemiNaiveChaseEngine):
+                raise ValueError(
+                    "firing strategies are a semi-naive engine feature; "
+                    "the reference engine is always lazy"
+                )
+            engine = replace(engine, strategy=resolve_strategy(strategy))
+        return replace(
+            engine,
+            tgds=list(tgds),
+            max_stages=min_bound(max_stages, engine.max_stages),
+            max_atoms=min_bound(max_atoms, engine.max_atoms),
+            keep_snapshots=keep_snapshots,
+        )
+    if isinstance(engine, str):
+        name = engine.lower()
+        if name in _SEMINAIVE_NAMES:
+            return SemiNaiveChaseEngine(
+                tgds=list(tgds),
+                max_stages=max_stages,
+                max_atoms=max_atoms,
+                keep_snapshots=keep_snapshots,
+                strategy=resolve_strategy(strategy),
+            )
+        if name in _REFERENCE_NAMES:
+            if strategy is not None:
+                raise ValueError(
+                    "firing strategies are a semi-naive engine feature; "
+                    "the reference engine is always lazy"
+                )
+            return ChaseEngine(
+                tgds=list(tgds),
+                max_stages=max_stages,
+                max_atoms=max_atoms,
+                keep_snapshots=keep_snapshots,
+            )
+        raise ValueError(
+            f"unknown chase engine {engine!r}; "
+            f"known: {sorted(_SEMINAIVE_NAMES | _REFERENCE_NAMES)}"
+        )
+    raise TypeError(f"cannot interpret {engine!r} as a chase engine")
+
+
+def run_chase(
+    tgds: Sequence[TGD],
+    instance: Structure,
+    max_stages: Optional[int] = None,
+    max_atoms: Optional[int] = None,
+    keep_snapshots: bool = True,
+    engine: EngineSpec = None,
+    strategy=None,
+) -> ChaseResult:
+    """Run the (bounded) chase of *instance* under *tgds* on a chosen engine.
+
+    This is the engine-aware sibling of :func:`repro.chase.chase`; with
+    ``engine="reference"`` the two are the same computation.
+    """
+    resolved = make_engine(
+        engine,
+        tgds,
+        max_stages=max_stages,
+        max_atoms=max_atoms,
+        keep_snapshots=keep_snapshots,
+        strategy=strategy,
+    )
+    return resolved.run(instance)
+
+
+__all__ = [
+    "AtomIndex",
+    "DEFAULT_ENGINE",
+    "EngineSpec",
+    "FiringStrategy",
+    "SemiNaiveChaseEngine",
+    "delta_body_matches",
+    "delta_frontier_keys",
+    "head_satisfied_indexed",
+    "lazy_strategy",
+    "make_engine",
+    "oblivious_strategy",
+    "resolve_strategy",
+    "run_chase",
+    "semi_oblivious_strategy",
+]

@@ -1,0 +1,191 @@
+"""Delta-driven trigger discovery (the semi-naive evaluation step).
+
+The key observation behind semi-naive chase evaluation: at stage ``i+1`` the
+body of a TGD is matched against ``chase_i``, but any match that lies
+entirely inside ``chase_{i-1}`` was already enumerated at stage ``i`` — at
+that point it either fired (so its head is satisfied now) or its head was
+already satisfied (and head satisfaction is monotone under atom addition).
+Either way it is inactive forever after.  Hence only matches using **at
+least one atom added during the previous stage** (the *delta*) can fire, and
+it suffices to enumerate those: for every body-atom position ``j``, seed the
+match with a delta atom at position ``j`` and complete the remaining body
+atoms against the stage-start prefix of the index.
+
+All matching here runs against :class:`~repro.engine.indexes.AtomIndex`
+posting-list prefixes — no structure copy, no frozenset materialisation —
+with candidate atoms looked up through the most selective
+``(predicate, position, value)`` posting list.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..chase.tgd import TGD
+from ..chase.trigger import frontier_key
+from ..core.atoms import Atom
+from ..core.terms import is_rigid
+from .indexes import AtomIndex
+
+Assignment = Dict[object, object]
+FrontierKey = Tuple[Tuple[object, object], ...]
+
+
+def extend_assignment(
+    source_atom: Atom, target_atom: Atom, assignment: Assignment
+) -> Optional[Assignment]:
+    """Extend *assignment* so that *source_atom* maps onto *target_atom*.
+
+    Rigid arguments (constants) must map to themselves; repeated variables
+    must agree.  Returns ``None`` when the atoms are incompatible.
+    """
+    if len(source_atom.args) != len(target_atom.args):
+        return None
+    extension: Optional[Assignment] = None
+    for src, dst in zip(source_atom.args, target_atom.args):
+        if is_rigid(src):
+            if src != dst:
+                return None
+            continue
+        current = assignment if extension is None else extension
+        if src in current:
+            if current[src] != dst:
+                return None
+        else:
+            if extension is None:
+                extension = dict(assignment)
+            extension[src] = dst
+    return dict(assignment) if extension is None else extension
+
+
+def _bound_positions(atom: Atom, assignment: Assignment) -> Dict[int, object]:
+    """Argument positions of *atom* whose value is already determined."""
+    bound: Dict[int, object] = {}
+    for position, arg in enumerate(atom.args):
+        if is_rigid(arg):
+            bound[position] = arg
+        elif arg in assignment:
+            bound[position] = assignment[arg]
+    return bound
+
+
+def _pick_next(
+    remaining: List[Tuple[Atom, Optional[int]]],
+    assignment: Assignment,
+    index: AtomIndex,
+) -> Tuple[Atom, Optional[int]]:
+    """Most-constrained-first atom selection (mirrors the reference search)."""
+
+    def score(item: Tuple[Atom, Optional[int]]) -> Tuple[int, int, int]:
+        atom, hi = item
+        new_vars = 0
+        connected = 0
+        for arg in set(atom.args):
+            if is_rigid(arg):
+                continue
+            if arg in assignment:
+                connected += 1
+            else:
+                new_vars += 1
+        return (new_vars, -connected, index.count(atom.predicate, hi))
+
+    return min(remaining, key=score)
+
+
+def _iter_bounded_matches(
+    items: List[Tuple[Atom, Optional[int]]],
+    index: AtomIndex,
+    assignment: Assignment,
+) -> Iterator[Assignment]:
+    """Matches of every ``(atom, hi)`` pair, each against its own prefix."""
+    if not items:
+        yield assignment
+        return
+    item = _pick_next(items, assignment, index)
+    atom, hi = item
+    rest = [other for other in items if other is not item]
+    bound = _bound_positions(atom, assignment)
+    for candidate in index.candidates(atom, bound, hi):
+        extension = extend_assignment(atom, candidate, assignment)
+        if extension is None:
+            continue
+        yield from _iter_bounded_matches(rest, index, extension)
+
+
+def iter_matches(
+    atoms: List[Atom],
+    index: AtomIndex,
+    assignment: Assignment,
+    hi: Optional[int] = None,
+) -> Iterator[Assignment]:
+    """All extensions of *assignment* matching every atom (stamps < *hi*)."""
+    return _iter_bounded_matches([(atom, hi) for atom in atoms], index, assignment)
+
+
+def find_match(
+    atoms: List[Atom],
+    index: AtomIndex,
+    assignment: Optional[Assignment] = None,
+    hi: Optional[int] = None,
+) -> Optional[Assignment]:
+    """One match of *atoms* extending *assignment*, or ``None``."""
+    return next(iter_matches(atoms, index, dict(assignment or {}), hi), None)
+
+
+def head_satisfied_indexed(
+    tgd: TGD, index: AtomIndex, frontier_assignment: Assignment
+) -> bool:
+    """Indexed version of :func:`repro.chase.trigger.head_satisfied`.
+
+    Checks ``∃z̄ Ψ(z̄, b̄)`` against the *current* (full) contents of the
+    index, i.e. the growing structure — the paper's condition (­).
+    """
+    return (
+        find_match(list(tgd.head), index, dict(frontier_assignment), hi=None)
+        is not None
+    )
+
+
+def delta_body_matches(
+    tgd: TGD,
+    index: AtomIndex,
+    delta_lo: int,
+    stage_start: int,
+) -> Iterator[Assignment]:
+    """All body matches in the stage-start prefix that use at least one atom
+    with stamp in ``[delta_lo, stage_start)``.
+
+    Classic semi-naive enumeration: a match is seeded at its *first* body
+    position carrying a delta atom, so body positions before the seed are
+    restricted to the pre-delta prefix and each match is produced exactly
+    once (up to repeated body atoms mapping onto the same target atom).
+    With ``delta_lo == 0`` this degenerates to full (naive) enumeration over
+    the prefix, which is exactly what the first stage needs.
+    """
+    body = list(tgd.body)
+    for position, seed_atom in enumerate(body):
+        rest = [
+            (atom, delta_lo if j < position else stage_start)
+            for j, atom in enumerate(body)
+            if j != position
+        ]
+        for candidate in index.atoms(seed_atom.predicate, delta_lo, stage_start):
+            seeded = extend_assignment(seed_atom, candidate, {})
+            if seeded is None:
+                continue
+            yield from _iter_bounded_matches(rest, index, seeded)
+
+
+def delta_frontier_keys(
+    tgd: TGD,
+    index: AtomIndex,
+    delta_lo: int,
+    stage_start: int,
+) -> Iterator[FrontierKey]:
+    """Distinct frontier keys of the delta body matches, each yielded once."""
+    seen: set = set()
+    for assignment in delta_body_matches(tgd, index, delta_lo, stage_start):
+        key = frontier_key(tgd, assignment)
+        if key not in seen:
+            seen.add(key)
+            yield key

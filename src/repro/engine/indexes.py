@@ -1,0 +1,207 @@
+"""Incremental argument-position indexes over a :class:`Structure`.
+
+The reference chase re-discovers candidate atoms through
+``Structure.atoms_with_predicate``, which materialises a fresh frozenset on
+every call and gives no way to ask the two questions a delta-driven engine
+needs constantly:
+
+* "which atoms with predicate ``P`` have value ``v`` at position ``j``?"
+  (candidate lookup during body matching), and
+* "which atoms with predicate ``P`` existed *before* stage ``i`` started?"
+  (the paper's discipline that body matches range over ``chase_i`` while the
+  structure keeps growing).
+
+:class:`AtomIndex` answers both in O(log n) without ever copying the
+structure.  It attaches to a structure as a
+:class:`~repro.core.structure.StructureListener`, stamps every atom with a
+monotonically increasing sequence number, and keeps append-only posting
+lists per predicate and per ``(predicate, position, value)``.  Because the
+lists are append-only and stamps increase, "the structure as it was when the
+stage started" is simply a *prefix* of every posting list, located by
+binary search on the stamp — the semi-naive engine therefore needs no
+``Structure.copy`` per stage at all.
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from ..core.atoms import Atom
+from ..core.structure import Structure, StructureListener
+
+
+class _PostingList:
+    """An append-only list of atoms in ascending sequence-stamp order."""
+
+    __slots__ = ("atoms", "stamps")
+
+    def __init__(self) -> None:
+        self.atoms: List[Atom] = []
+        self.stamps: List[int] = []
+
+    def append(self, atom: Atom, stamp: int) -> None:
+        self.atoms.append(atom)
+        self.stamps.append(stamp)
+
+    def cut(self, before: Optional[int]) -> int:
+        """Index of the first entry with stamp ≥ *before* (len when None)."""
+        if before is None:
+            return len(self.atoms)
+        return bisect_left(self.stamps, before)
+
+    def iter_range(self, lo: Optional[int], hi: Optional[int]) -> Iterator[Atom]:
+        """Atoms with ``lo ≤ stamp < hi`` (open bounds when ``None``)."""
+        start = 0 if lo is None else bisect_left(self.stamps, lo)
+        stop = self.cut(hi)
+        for position in range(start, stop):
+            yield self.atoms[position]
+
+    def count_before(self, before: Optional[int]) -> int:
+        return self.cut(before)
+
+
+class AtomIndex(StructureListener):
+    """Per-(predicate, position, value) index, maintained incrementally.
+
+    The index registers itself as a listener on the structure it is attached
+    to, so every ``add_atom`` — including the ones performed by
+    :func:`~repro.chase.trigger.apply_trigger` while a stage is firing — is
+    reflected immediately.  Atom *removal* invalidates the append-only
+    invariant; it is extremely rare in chase workloads, so the index simply
+    rebuilds itself when it happens.  Stamps stay monotone across rebuilds:
+    previously-taken watermarks then denote an empty prefix (everything
+    looks new), which over-approximates delta windows rather than silently
+    dropping atoms from them.
+    """
+
+    def __init__(self, structure: Optional[Structure] = None) -> None:
+        self._seq = 0
+        self._by_predicate: Dict[str, _PostingList] = {}
+        self._by_position: Dict[Tuple[str, int, object], _PostingList] = {}
+        self._structure: Optional[Structure] = None
+        if structure is not None:
+            self.attach(structure)
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def attach(self, structure: Structure) -> None:
+        """Bulk-load *structure* and follow its future mutations."""
+        if self._structure is not None:
+            self.detach()
+        self._structure = structure
+        self._reload()
+        structure.add_listener(self)
+
+    def detach(self) -> None:
+        """Stop following the structure (the index keeps its last state)."""
+        if self._structure is not None:
+            self._structure.remove_listener(self)
+            self._structure = None
+
+    def _reload(self) -> None:
+        # The sequence counter is deliberately NOT reset: stamps stay
+        # monotone across rebuilds, so a watermark taken before a rebuild
+        # still means "strictly earlier than everything now in the index".
+        # After a rebuild every atom therefore looks newer than any old
+        # watermark — delta windows over-approximate (matches may be
+        # re-discovered and deduplicated) instead of silently missing atoms.
+        self._by_predicate = {}
+        self._by_position = {}
+        if self._structure is not None:
+            # Sort the initial load canonically so that posting-list order —
+            # hence trigger enumeration — is independent of set iteration
+            # order (and therefore of PYTHONHASHSEED).
+            for atom in sorted(self._structure, key=repr):
+                self._insert(atom)
+
+    # ------------------------------------------------------------------
+    # StructureListener protocol
+    # ------------------------------------------------------------------
+    def atom_added(self, atom: Atom) -> None:
+        self._insert(atom)
+
+    def atom_removed(self, atom: Atom) -> None:
+        self._reload()
+
+    def _insert(self, atom: Atom) -> None:
+        stamp = self._seq
+        self._seq += 1
+        posting = self._by_predicate.get(atom.predicate)
+        if posting is None:
+            posting = self._by_predicate[atom.predicate] = _PostingList()
+        posting.append(atom, stamp)
+        for position, value in enumerate(atom.args):
+            key = (atom.predicate, position, value)
+            slot = self._by_position.get(key)
+            if slot is None:
+                slot = self._by_position[key] = _PostingList()
+            slot.append(atom, stamp)
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    def watermark(self) -> int:
+        """The next sequence stamp; atoms added later stamp ≥ this value."""
+        return self._seq
+
+    def atoms(
+        self,
+        predicate: str,
+        lo: Optional[int] = None,
+        hi: Optional[int] = None,
+    ) -> Iterator[Atom]:
+        """Atoms with *predicate* whose stamp is in ``[lo, hi)``."""
+        posting = self._by_predicate.get(predicate)
+        if posting is None:
+            return iter(())
+        return posting.iter_range(lo, hi)
+
+    def atoms_with_value(
+        self,
+        predicate: str,
+        position: int,
+        value: object,
+        hi: Optional[int] = None,
+    ) -> Iterator[Atom]:
+        """Atoms with *predicate* carrying *value* at *position* (stamp < hi)."""
+        posting = self._by_position.get((predicate, position, value))
+        if posting is None:
+            return iter(())
+        return posting.iter_range(None, hi)
+
+    def count(self, predicate: str, hi: Optional[int] = None) -> int:
+        """Number of *predicate* atoms with stamp < *hi*."""
+        posting = self._by_predicate.get(predicate)
+        return 0 if posting is None else posting.count_before(hi)
+
+    def count_with_value(
+        self, predicate: str, position: int, value: object, hi: Optional[int] = None
+    ) -> int:
+        """Number of atoms with *value* at *position* (stamp < *hi*)."""
+        posting = self._by_position.get((predicate, position, value))
+        return 0 if posting is None else posting.count_before(hi)
+
+    def candidates(
+        self,
+        atom: Atom,
+        bound: Dict[int, object],
+        hi: Optional[int] = None,
+    ) -> Iterator[Atom]:
+        """Candidate target atoms for matching *atom* given *bound* positions.
+
+        ``bound`` maps argument positions to already-determined values (from
+        rigid constants or earlier variable bindings).  The most selective
+        position index is consulted; full verification of every position is
+        the caller's job (see :func:`repro.engine.delta.extend_assignment`).
+        """
+        if not bound:
+            return self.atoms(atom.predicate, None, hi)
+        best_position, best_value = min(
+            bound.items(),
+            key=lambda item: self.count_with_value(
+                atom.predicate, item[0], item[1], hi
+            ),
+        )
+        return self.atoms_with_value(atom.predicate, best_position, best_value, hi)

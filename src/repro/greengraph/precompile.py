@@ -20,20 +20,27 @@ from __future__ import annotations
 
 from typing import List
 
-from ..spiders.algebra import SpiderQuerySpec, spider_query
-from ..swarm.rules import (
-    SwarmRule,
-    SwarmRuleKind,
-    SwarmRuleSet,
-    shared_antenna_rule,
-    shared_tail_rule,
-)
+from typing import TYPE_CHECKING
+
 from .labels import Label
 from .rules import GreenGraphRule, GreenGraphRuleSet, RuleKind
 
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from ..swarm.rules import SwarmRule, SwarmRuleSet
 
-def bootstrap_rules() -> List[SwarmRule]:
+# The swarm-rule and spider-algebra imports below are deferred into the
+# functions that need them: both packages transitively need
+# :mod:`repro.greengraph.labels`, so importing them while this module loads
+# (as part of ``repro.greengraph``'s package init) would make every entry
+# point into the cycle (``import repro.spiders``, ``import repro.swarm``, …)
+# depend on import order.
+
+
+def bootstrap_rules() -> "List[SwarmRule]":
     """The three rules that convert a 1-2 pattern into the full red spider."""
+    from ..spiders.algebra import spider_query
+    from ..swarm.rules import shared_antenna_rule
+
     return [
         shared_antenna_rule(
             spider_query("1", "1"), spider_query("2", "2"), name="boot::f^1_1&f^2_2"
@@ -52,8 +59,11 @@ def _upper_index(label: Label) -> object:
     return None if label.is_empty() else label.name
 
 
-def precompile_rule(rule: GreenGraphRule, number: int) -> List[SwarmRule]:
+def precompile_rule(rule: GreenGraphRule, number: int) -> "List[SwarmRule]":
     """The two Level-1 rules simulating the *number*-th Level-2 rule."""
+    from ..spiders.algebra import SpiderQuerySpec
+    from ..swarm.rules import shared_antenna_rule, shared_tail_rule
+
     odd = str(2 * number + 1)
     even = str(2 * number + 2)
     i1, i2 = rule.left
@@ -78,9 +88,11 @@ def precompile_rule(rule: GreenGraphRule, number: int) -> List[SwarmRule]:
     ]
 
 
-def precompile(rules: GreenGraphRuleSet) -> SwarmRuleSet:
+def precompile(rules: GreenGraphRuleSet) -> "SwarmRuleSet":
     """``Precompile(T)`` of Definition 9."""
-    result: List[SwarmRule] = list(bootstrap_rules())
+    from ..swarm.rules import SwarmRuleSet
+
+    result: "List[SwarmRule]" = list(bootstrap_rules())
     for offset, rule in enumerate(rules.rules):
         number = offset + 2  # the paper numbers the rules 2, 3, …, k
         result.extend(precompile_rule(rule, number))

@@ -22,11 +22,12 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..chase.chase import ChaseResult, chase
+from ..chase.chase import ChaseResult
 from ..chase.tgd import TGD
 from ..chase.trigger import all_satisfied, violated_tgds
 from ..core.atoms import Atom
 from ..core.terms import Variable
+from ..engine import EngineSpec, run_chase
 from .graph import GreenGraph, edge_predicate
 from .labels import FOUR, Label, THREE
 
@@ -196,14 +197,20 @@ class GreenGraphRuleSet:
         max_stages: Optional[int] = None,
         max_atoms: Optional[int] = None,
         keep_snapshots: bool = True,
+        engine: EngineSpec = None,
     ) -> "GreenGraphChase":
-        """Run the chase of *graph* under this rule set."""
-        result = chase(
+        """Run the chase of *graph* under this rule set.
+
+        *engine* selects the chase engine (default: the semi-naive engine of
+        :mod:`repro.engine`; pass ``"reference"`` for the reference one).
+        """
+        result = run_chase(
             self.tgds(),
             graph.structure(),
             max_stages=max_stages,
             max_atoms=max_atoms,
             keep_snapshots=keep_snapshots,
+            engine=engine,
         )
         return GreenGraphChase(self, graph, result)
 

@@ -9,14 +9,19 @@ exercises the lemma.
 
 ``run`` produces a trace; ``creeps_at_least`` / ``halts_within`` are the
 bounded stand-ins for the (undecidable, Lemma 21) "creeps forever" question.
+``chase_observed_words`` / ``simulation_matches_chase`` re-derive the same
+computation through the green-graph chase of ``T_M`` (Lemma 25) on a chase
+engine of the caller's choice, cross-validating the direct simulator against
+the declarative route.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Tuple
+from typing import FrozenSet, List, Optional, Sequence, Tuple
 
-from .configuration import Configuration, anatomy, is_configuration, render
+from ..engine import EngineSpec
+from .configuration import Configuration, anatomy, is_configuration, render, word_names
 from .machine import Instruction, RainwormMachine
 
 
@@ -146,6 +151,60 @@ def halting_computation(
             f"{machine.name} did not halt within {max_steps} steps"
         )
     return result.final, result.steps
+
+
+def chase_observed_words(
+    machine: RainwormMachine,
+    chase_stages: int,
+    max_atoms: int = 40_000,
+    max_length: int = 80,
+    engine: EngineSpec = None,
+) -> FrozenSet[Tuple[str, ...]]:
+    """The words of a bounded chase of ``T_M`` over ``DI`` (Lemma 25 route).
+
+    By Lemma 25 the chase of the machine's green-graph rules re-creates the
+    worm's computation as the words of the growing graph; this is the
+    declarative counterpart of :func:`run`, executed on the selected chase
+    *engine* (default: the semi-naive engine of :mod:`repro.engine`).
+    """
+    from ..greengraph.graph import initial_graph
+    from ..greengraph.parity import words
+    from .to_rules import machine_rules
+
+    outcome = machine_rules(machine).chase(
+        initial_graph(),
+        max_stages=chase_stages,
+        max_atoms=max_atoms,
+        keep_snapshots=False,
+        engine=engine,
+    )
+    return words(outcome.graph(), max_length=max_length)
+
+
+def simulation_matches_chase(
+    machine: RainwormMachine,
+    simulate_steps: int,
+    chase_stages: int,
+    max_atoms: int = 40_000,
+    engine: EngineSpec = None,
+) -> bool:
+    """Does every simulated configuration occur among the chase words?
+
+    Bounded empirical check of Lemma 25: the operational trace of
+    :func:`run` must be a subset of the word language produced by
+    :func:`chase_observed_words` (given enough chase stages).
+    """
+    trace = run(machine, simulate_steps).trace
+    reachable = {word_names(configuration) for configuration in trace}
+    longest = max((len(word) for word in reachable), default=0)
+    observed = chase_observed_words(
+        machine,
+        chase_stages,
+        max_atoms=max_atoms,
+        max_length=max(longest, 1),
+        engine=engine,
+    )
+    return reachable <= observed
 
 
 def predecessors(

@@ -64,11 +64,16 @@ def halting_direction_evidence(
     machine: RainwormMachine,
     max_steps: int = 500,
     grid_stages: int = 8,
+    engine=None,
 ) -> HaltingEvidence:
     """Run the Section VIII.E construction for a halting machine."""
-    instance = reduce_machine(machine)
+    instance = reduce_machine(machine, engine=engine)
     report = build_countermodel(
-        machine, max_steps=max_steps, add_grids=True, grid_stages=grid_stages
+        machine,
+        max_steps=max_steps,
+        add_grids=True,
+        grid_stages=grid_stages,
+        engine=engine,
     )
     return HaltingEvidence(instance=instance, countermodel=report)
 
@@ -79,12 +84,13 @@ def creeping_direction_evidence(
     chase_stages: int = 10,
     max_atoms: int = 40_000,
     merged_lengths: Tuple[int, int] = (3, 2),
+    engine=None,
 ) -> CreepingEvidence:
     """Check Lemma 25 on a chase prefix and the folding argument for a creeping machine."""
-    instance = reduce_machine(machine)
+    instance = reduce_machine(machine, engine=engine)
     trace = run(machine, simulate_steps).trace
     reachable = {word_names(configuration) for configuration in trace}
-    chase = instance.machine_rule_set.chase(
+    chase = instance.chase_machine_rules(
         initial_graph(), max_stages=chase_stages, max_atoms=max_atoms
     )
     observed = words(chase.graph(), max_length=4 * simulate_steps + 8)
