@@ -10,6 +10,10 @@ every construction the paper uses:
 * tuple-generating dependencies and the lazy chase (:mod:`repro.chase`);
 * a semi-naive, delta-driven, indexed chase engine (:mod:`repro.engine`)
   that every chase-heavy construction runs on by default;
+* a planned, index-backed conjunctive-query evaluator (:mod:`repro.query`)
+  that every query-shaped hot path (CQ evaluation, containment, determinacy
+  certificates, trigger satisfaction, spider matching) routes through,
+  sharing its per-structure indexes with the chase engine;
 * the green-red reformulation of determinacy (:mod:`repro.greenred`);
 * the spider machinery of [GM15] reconstructed at Abstraction Level 0
   (:mod:`repro.spiders`), swarms at Level 1 (:mod:`repro.swarm`) and green

@@ -21,7 +21,6 @@ from dataclasses import dataclass
 from typing import Dict, Iterator, List, Mapping, Optional, Tuple
 
 from ..core.atoms import Atom
-from ..core.homomorphism import all_homomorphisms, find_homomorphism
 from ..core.structure import Structure
 from ..core.terms import FreshNullFactory, LabeledNull
 from .tgd import TGD
@@ -75,8 +74,20 @@ def head_satisfied(
     tgd: TGD, structure: Structure, frontier_assignment: Mapping[object, object]
 ) -> bool:
     """Condition (­) negated: is ``∃z̄ Ψ(z̄, b̄)`` already true in *structure*?"""
+    # Routed through the planned index-backed evaluator (repro.query): the
+    # structure's index is built once and maintained incrementally, so
+    # repeated satisfaction checks against the same structure stop paying
+    # for per-call candidate materialisation.  Imported lazily to keep the
+    # chase → query edge acyclic.
+    from ..query.evaluator import iter_homomorphisms
+
     return (
-        find_homomorphism(list(tgd.head), structure, fix=dict(frontier_assignment))
+        next(
+            iter_homomorphisms(
+                list(tgd.head), structure, fix=dict(frontier_assignment), limit=1
+            ),
+            None,
+        )
         is not None
     )
 
@@ -94,10 +105,16 @@ def find_triggers(
     the body is matched in; this mirrors the paper's chase procedure, where
     body matches range over ``chase_i`` while conditions are re-checked in
     the current, growing ``D``.
+
+    Body matching runs on the planned index-backed evaluator of
+    :mod:`repro.query`; the reference chase engine keeps its own full
+    per-stage re-matching discipline but shares the per-structure index.
     """
+    from ..query.evaluator import iter_homomorphisms
+
     target_for_heads = satisfaction_structure or structure
     seen: set = set()
-    for assignment in all_homomorphisms(list(tgd.body), structure):
+    for assignment in iter_homomorphisms(list(tgd.body), structure):
         key = _frontier_key(tgd, assignment)
         if key in seen:
             continue

@@ -12,7 +12,6 @@ from __future__ import annotations
 
 from typing import Optional
 
-from .homomorphism import find_homomorphism
 from .query import ConjunctiveQuery, QueryError
 
 
@@ -23,8 +22,12 @@ def containment_witness(
 
     The witness maps the body of *container* into the canonical structure of
     *contained*, sending the i-th free variable of *container* to the i-th
-    free variable of *contained*.
+    free variable of *contained*.  The search runs on the planned
+    index-backed evaluator of :mod:`repro.query` (imported lazily, as
+    repro.query sits above repro.core).
     """
+    from ..query.evaluator import find_homomorphism
+
     if contained.arity != container.arity:
         raise QueryError(
             "containment is only defined between queries of equal arity"

@@ -20,7 +20,6 @@ from dataclasses import dataclass
 from typing import Dict, FrozenSet, Iterable, Iterator, Optional, Sequence, Tuple
 
 from .atoms import Atom
-from .homomorphism import all_homomorphisms, find_homomorphism
 from .signature import Signature
 from .structure import Structure
 from .terms import Constant, Variable
@@ -161,16 +160,25 @@ class ConjunctiveQuery:
     # ------------------------------------------------------------------
     # Evaluation (the view ``Q(D)`` of the paper)
     # ------------------------------------------------------------------
+    # Evaluation is routed through the planned, index-backed evaluator of
+    # :mod:`repro.query` (imported lazily: repro.query sits above repro.core
+    # in the layering).  The per-structure index is built once and then
+    # maintained incrementally, so evaluating many queries — or the same
+    # query repeatedly — against one instance no longer re-materialises
+    # candidate tuples per call.  The reference backtracking search
+    # (:class:`~repro.core.homomorphism.HomomorphismProblem`) remains the
+    # authoritative oracle the evaluator is differentially tested against.
     def homomorphisms(self, instance: Structure) -> Iterator[Dict[object, object]]:
         """All homomorphisms from the canonical structure into *instance*."""
-        yield from all_homomorphisms(list(self.atoms), instance)
+        from ..query.evaluator import iter_homomorphisms
+
+        yield from iter_homomorphisms(list(self.atoms), instance)
 
     def evaluate(self, instance: Structure) -> FrozenSet[Tuple[object, ...]]:
         """The relation ``Q(D) = {ā : D |= Q(ā)}``."""
-        answers = set()
-        for assignment in self.homomorphisms(instance):
-            answers.add(tuple(assignment[v] for v in self.free_variables))
-        return frozenset(answers)
+        from ..query.evaluator import evaluate
+
+        return evaluate(self, instance)
 
     def holds(self, instance: Structure, answer: Sequence[object] = ()) -> bool:
         """``D |= Q(ā)`` -- or boolean satisfaction when *answer* is empty.
@@ -179,14 +187,9 @@ class ConjunctiveQuery:
         treated as implicitly existentially quantified, exactly as in the
         paper's ``D |= Q`` convention.
         """
-        fix: Dict[object, object] = {}
-        if answer:
-            if len(answer) != self.arity:
-                raise QueryError(
-                    f"answer arity {len(answer)} does not match query arity {self.arity}"
-                )
-            fix = dict(zip(self.free_variables, answer))
-        return find_homomorphism(list(self.atoms), instance, fix=fix) is not None
+        from ..query.evaluator import query_holds
+
+        return query_holds(self, instance, answer)
 
     def boolean_closure(self, name: Optional[str] = None) -> "ConjunctiveQuery":
         """The boolean query ``∃* Q`` with all free variables quantified."""

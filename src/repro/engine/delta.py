@@ -25,37 +25,27 @@ from ..chase.tgd import TGD
 from ..chase.trigger import frontier_key
 from ..core.atoms import Atom
 from ..core.terms import is_rigid
+from ..query.evaluator import exists_match, extend_match
 from .indexes import AtomIndex
 
 Assignment = Dict[object, object]
 FrontierKey = Tuple[Tuple[object, object], ...]
-
 
 def extend_assignment(
     source_atom: Atom, target_atom: Atom, assignment: Assignment
 ) -> Optional[Assignment]:
     """Extend *assignment* so that *source_atom* maps onto *target_atom*.
 
-    Rigid arguments (constants) must map to themselves; repeated variables
-    must agree.  Returns ``None`` when the atoms are incompatible.
+    Historical entry point, now a thin wrapper over the shared
+    :func:`repro.query.evaluator.extend_match`.  Unlike the shared primitive
+    (which aliases the input dictionary when no new bindings arise), this
+    wrapper preserves the original contract of always returning a dictionary
+    the caller may mutate freely.
     """
-    if len(source_atom.args) != len(target_atom.args):
+    extension = extend_match(source_atom, target_atom, assignment)
+    if extension is None:
         return None
-    extension: Optional[Assignment] = None
-    for src, dst in zip(source_atom.args, target_atom.args):
-        if is_rigid(src):
-            if src != dst:
-                return None
-            continue
-        current = assignment if extension is None else extension
-        if src in current:
-            if current[src] != dst:
-                return None
-        else:
-            if extension is None:
-                extension = dict(assignment)
-            extension[src] = dst
-    return dict(assignment) if extension is None else extension
+    return dict(extension) if extension is assignment else extension
 
 
 def _bound_positions(atom: Atom, assignment: Assignment) -> Dict[int, object]:
@@ -106,30 +96,10 @@ def _iter_bounded_matches(
     rest = [other for other in items if other is not item]
     bound = _bound_positions(atom, assignment)
     for candidate in index.candidates(atom, bound, hi):
-        extension = extend_assignment(atom, candidate, assignment)
+        extension = extend_match(atom, candidate, assignment)
         if extension is None:
             continue
         yield from _iter_bounded_matches(rest, index, extension)
-
-
-def iter_matches(
-    atoms: List[Atom],
-    index: AtomIndex,
-    assignment: Assignment,
-    hi: Optional[int] = None,
-) -> Iterator[Assignment]:
-    """All extensions of *assignment* matching every atom (stamps < *hi*)."""
-    return _iter_bounded_matches([(atom, hi) for atom in atoms], index, assignment)
-
-
-def find_match(
-    atoms: List[Atom],
-    index: AtomIndex,
-    assignment: Optional[Assignment] = None,
-    hi: Optional[int] = None,
-) -> Optional[Assignment]:
-    """One match of *atoms* extending *assignment*, or ``None``."""
-    return next(iter_matches(atoms, index, dict(assignment or {}), hi), None)
 
 
 def head_satisfied_indexed(
@@ -138,12 +108,10 @@ def head_satisfied_indexed(
     """Indexed version of :func:`repro.chase.trigger.head_satisfied`.
 
     Checks ``∃z̄ Ψ(z̄, b̄)`` against the *current* (full) contents of the
-    index, i.e. the growing structure — the paper's condition (­).
+    index, i.e. the growing structure — the paper's condition (­) — through
+    the planned query evaluator.
     """
-    return (
-        find_match(list(tgd.head), index, dict(frontier_assignment), hi=None)
-        is not None
-    )
+    return exists_match(list(tgd.head), index, dict(frontier_assignment), hi=None)
 
 
 def delta_body_matches(

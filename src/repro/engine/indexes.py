@@ -86,6 +86,11 @@ class AtomIndex(StructureListener):
     # ------------------------------------------------------------------
     # Lifecycle
     # ------------------------------------------------------------------
+    @property
+    def structure(self) -> Optional[Structure]:
+        """The structure this index currently follows (``None`` when detached)."""
+        return self._structure
+
     def attach(self, structure: Structure) -> None:
         """Bulk-load *structure* and follow its future mutations."""
         if self._structure is not None:

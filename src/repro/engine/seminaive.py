@@ -53,6 +53,10 @@ class SemiNaiveChaseEngine:
     keep_snapshots: bool = True
     raise_on_budget: bool = False
     strategy: FiringStrategy = field(default_factory=lazy_strategy)
+    #: Donate the run's AtomIndex to the shared query-evaluation context so
+    #: post-chase queries on the result (certificate checks, containment)
+    #: reuse it instead of rebuilding; set False to detach it as before.
+    share_index: bool = True
 
     # ------------------------------------------------------------------
     def run(self, instance: Structure) -> ChaseResult:
@@ -97,7 +101,15 @@ class SemiNaiveChaseEngine:
                         )
                     break
         finally:
-            index.detach()
+            if self.share_index:
+                # Keep the index attached and hand it to the query layer:
+                # the chased structure's first certificate / containment
+                # check then starts from a warm index (no rebuild).
+                from ..query.context import shared_context
+
+                shared_context.adopt(current, index)
+            else:
+                index.detach()
         return ChaseResult(
             structure=current,
             reached_fixpoint=reached_fixpoint,

@@ -80,6 +80,8 @@ class FiringStrategy:
                 return False
             self._fired.add(mark)
         if self.check_head:
+            # ∃z̄ Ψ(z̄, b̄) against the growing structure — evaluated by the
+            # planned query evaluator behind head_satisfied_indexed.
             return not head_satisfied_indexed(tgd, index, dict(frontier))
         return True
 

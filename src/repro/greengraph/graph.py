@@ -18,6 +18,7 @@ from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional, Set, Tup
 from ..core.atoms import Atom
 from ..core.structure import Structure
 from ..core.terms import Constant
+from ..query.evaluator import find_homomorphism
 from .labels import EMPTY, Label, ONE, TWO
 
 EDGE_PREDICATE_PREFIX = "H["
@@ -229,6 +230,9 @@ class GreenGraph:
 
         The graph *contains a 1-2 pattern* when it has edges
         ``H(I^1, a, b)`` and ``H(I^2, a′, b)`` sharing their target vertex.
+        This stays a direct two-predicate scan rather than an indexed query:
+        callers probe freshly-wrapped stage snapshots exactly once, so one
+        linear pass over the ONE/TWO edges beats building an index per probe.
         """
         targets_of_one: Dict[object, Edge] = {}
         for edge in self.edges_with_label(ONE):
@@ -241,6 +245,15 @@ class GreenGraph:
     def contains_one_two_pattern(self) -> bool:
         """True when the graph contains a 1-2 pattern."""
         return self.one_two_pattern() is not None
+
+    def homomorphism_to(self, other: "GreenGraph") -> Optional[Dict[object, object]]:
+        """A homomorphism of underlying structures ``self → other``, or ``None``.
+
+        Runs on the planned index-backed evaluator; the universality /
+        merged-path arguments of Section VII use this for mapping chase
+        prefixes into candidate models.
+        """
+        return find_homomorphism(self._structure, other._structure)
 
 
 def initial_graph(name: str = "DI") -> GreenGraph:

@@ -28,7 +28,6 @@ from dataclasses import dataclass
 from enum import Enum
 from typing import Dict, List, Optional, Sequence, Tuple
 
-from ..core.homomorphism import find_homomorphism
 from .graph import GreenGraph, initial_graph
 from .labels import Label
 from .rules import GreenGraphChase, GreenGraphRuleSet
@@ -149,7 +148,9 @@ def chase_image_in_model(
     prefix = rules.chase(
         initial_graph(), max_stages=max_stages, max_atoms=max_atoms
     ).graph()
-    return find_homomorphism(prefix.structure(), model.structure())
+    # Planned index-backed search; the model's index is cached across the
+    # repeated probes performed by merged_path_vertices-style callers.
+    return prefix.homomorphism_to(model)
 
 
 def merged_path_vertices(

@@ -10,8 +10,9 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Optional, Tuple
+from typing import Optional, Sequence, Tuple
 
+from ..core.query import ConjunctiveQuery
 from ..core.structure import Structure
 
 
@@ -41,6 +42,20 @@ class DeterminacyCertificate:
     chase_structure: Structure
     stage: int
 
+    def verify(self, query: ConjunctiveQuery) -> bool:
+        """Re-check the evidence: ``red(Q0)`` holds at the canonical answer.
+
+        Runs on the planned index-backed evaluator (through
+        ``ConjunctiveQuery.holds``); when the certificate structure came out
+        of the semi-naive chase engine, its index is reused from the shared
+        evaluation context rather than rebuilt.
+        """
+        from .coloring import red_query
+
+        return red_query(query).holds(
+            self.chase_structure, tuple(query.free_variables)
+        )
+
 
 @dataclass(frozen=True)
 class CounterexampleCertificate:
@@ -55,6 +70,25 @@ class CounterexampleCertificate:
 
     structure: Structure
     answer: Tuple[object, ...]
+
+    def verify(
+        self, views: Sequence[ConjunctiveQuery], query: ConjunctiveQuery
+    ) -> bool:
+        """Re-check the evidence in the CQfDP.3 sense.
+
+        The structure must satisfy ``T_Q`` (trigger satisfaction runs on the
+        shared per-structure index), contain ``G(Q0)`` at :attr:`answer` and
+        not contain ``R(Q0)`` there.
+        """
+        from ..chase.trigger import all_satisfied
+        from .coloring import green_query, red_query
+        from .tq import build_tq
+
+        if not all_satisfied(build_tq(views), self.structure):
+            return False
+        if not green_query(query).holds(self.structure, self.answer):
+            return False
+        return not red_query(query).holds(self.structure, self.answer)
 
 
 @dataclass(frozen=True)

@@ -27,9 +27,9 @@ from __future__ import annotations
 import itertools
 from typing import Iterable, List, Optional, Sequence, Tuple
 
-from ..chase.chase import chase
 from ..chase.tgd import TGD
 from ..chase.trigger import all_satisfied
+from ..engine import EngineSpec, run_chase
 from ..core.query import ConjunctiveQuery
 from ..core.structure import Structure
 from ..core.terms import LabeledNull
@@ -76,6 +76,7 @@ def check_unrestricted_determinacy(
     query: ConjunctiveQuery,
     max_stages: int = 50,
     max_atoms: int = 20_000,
+    engine: EngineSpec = None,
 ) -> DeterminacyReport:
     """Bounded decision procedure for CQDP (the unrestricted problem).
 
@@ -83,6 +84,13 @@ def check_unrestricted_determinacy(
     at the canonical answer after every stage.  The procedure is sound in
     both directions whenever it answers (the chase is a universal structure,
     [JK82]); it answers ``UNKNOWN`` when the bounds are exhausted first.
+
+    The certificate search exploits two facts: ``red(Q0)`` at a fixed answer
+    is *monotone* under atom addition, so it is decided on the final chase
+    structure first (whose :class:`~repro.engine.indexes.AtomIndex` the
+    semi-naive engine just donated to the shared evaluation context — no
+    index rebuild), and only on success is the earliest witnessing stage
+    located by binary search over the snapshots.
     """
     tgds = build_tq(views)
     instance, answer = green_canonical_instance(query)
@@ -93,14 +101,18 @@ def check_unrestricted_determinacy(
             certificate=DeterminacyCertificate(instance, stage=0),
             detail="red(Q0) already true in green(Q0)",
         )
-    result = chase(tgds, instance, max_stages=max_stages, max_atoms=max_atoms)
-    for stage_index, snapshot in enumerate(result.stage_snapshots):
-        if target.holds(snapshot, answer):
-            return DeterminacyReport(
-                Verdict.DETERMINED,
-                certificate=DeterminacyCertificate(snapshot, stage=stage_index),
-                detail=f"red(Q0) reached at chase stage {stage_index}",
-            )
+    result = run_chase(
+        tgds, instance, max_stages=max_stages, max_atoms=max_atoms, engine=engine
+    )
+    if target.holds(result.structure, answer):
+        stage_index = _first_stage_with(target, result.stage_snapshots, answer)
+        return DeterminacyReport(
+            Verdict.DETERMINED,
+            certificate=DeterminacyCertificate(
+                result.stage_snapshots[stage_index], stage=stage_index
+            ),
+            detail=f"red(Q0) reached at chase stage {stage_index}",
+        )
     if result.reached_fixpoint:
         return DeterminacyReport(
             Verdict.NOT_DETERMINED,
@@ -113,6 +125,27 @@ def check_unrestricted_determinacy(
         detail=f"no red(Q0) within {result.stages_run} stages "
         f"({len(result.structure.atoms())} atoms); chase did not terminate",
     )
+
+
+def _first_stage_with(
+    target: ConjunctiveQuery,
+    snapshots: Sequence[Structure],
+    answer: Tuple[object, ...],
+) -> int:
+    """The earliest snapshot index at which ``target(answer)`` holds.
+
+    Pre-condition: it holds at the last snapshot.  Satisfaction at a fixed
+    answer is monotone along chase stages, so binary search applies — only
+    O(log stages) snapshots get queried (and indexed) at all.
+    """
+    lo, hi = 0, len(snapshots) - 1
+    while lo < hi:
+        mid = (lo + hi) // 2
+        if target.holds(snapshots[mid], answer):
+            hi = mid
+        else:
+            lo = mid + 1
+    return lo
 
 
 # ----------------------------------------------------------------------
@@ -151,6 +184,7 @@ def check_finite_determinacy(
     max_atoms: int = 20_000,
     candidate_countermodels: Iterable[Structure] = (),
     fold_search_limit: int = 0,
+    engine: EngineSpec = None,
 ) -> DeterminacyReport:
     """Bounded, sound-when-it-answers check for CQfDP (the finite problem).
 
@@ -166,7 +200,7 @@ def check_finite_determinacy(
        the problem is undecidable (Theorem 1).
     """
     unrestricted = check_unrestricted_determinacy(
-        views, query, max_stages=max_stages, max_atoms=max_atoms
+        views, query, max_stages=max_stages, max_atoms=max_atoms, engine=engine
     )
     if unrestricted.verdict is Verdict.DETERMINED:
         return DeterminacyReport(
@@ -191,7 +225,12 @@ def check_finite_determinacy(
         )
     if fold_search_limit > 0:
         folded = search_counterexample_by_folding(
-            views, query, max_stages=max_stages, attempts=fold_search_limit
+            views,
+            query,
+            max_stages=max_stages,
+            attempts=fold_search_limit,
+            max_atoms=max_atoms,
+            engine=engine,
         )
         if folded is not None:
             answer = _some_failing_answer(folded, views, query)
@@ -227,6 +266,8 @@ def search_counterexample_by_folding(
     query: ConjunctiveQuery,
     max_stages: int = 10,
     attempts: int = 200,
+    max_atoms: int = 5_000,
+    engine: EngineSpec = None,
 ) -> Optional[Structure]:
     """Heuristic search for a finite counter-model.
 
@@ -242,7 +283,9 @@ def search_counterexample_by_folding(
     """
     tgds = build_tq(views)
     instance, answer = green_canonical_instance(query)
-    result = chase(tgds, instance, max_stages=max_stages, max_atoms=5_000)
+    result = run_chase(
+        tgds, instance, max_stages=max_stages, max_atoms=max_atoms, engine=engine
+    )
     base = result.structure
     if _is_counterexample_structure(base, tgds, views, query, answer):
         return base

@@ -16,10 +16,12 @@ from __future__ import annotations
 
 from typing import Dict, Optional, Sequence
 
-from ..chase.chase import ChaseResult, chase
-from ..core.homomorphism import find_homomorphism, is_homomorphism
+from ..chase.chase import ChaseResult
+from ..core.homomorphism import is_homomorphism
+from ..engine import EngineSpec, run_chase
 from ..core.query import ConjunctiveQuery
 from ..core.structure import Structure
+from ..query.evaluator import find_homomorphism
 from .coloring import dalt_structure
 from .tq import build_tq
 
@@ -79,15 +81,20 @@ def verify_observation6(
     green_instance: Structure,
     max_stages: int = 6,
     max_atoms: int = 4_000,
+    engine: EngineSpec = None,
 ) -> bool:
     """Check Observation 6 on a bounded chase prefix of *green_instance*.
 
     Returns ``True`` when a homomorphism ``dalt(chase prefix) → dalt(D)``
     exists.  (For a bounded prefix this is implied by the observation for the
-    full chase, and it is exactly what the tests exercise.)
+    full chase, and it is exactly what the tests exercise.)  The chase runs
+    on the shared ``engine=`` parameter (default semi-naive) and the
+    fallback search on the planned index-backed evaluator.
     """
     tgds = build_tq(queries)
-    result = chase(tgds, green_instance, max_stages=max_stages, max_atoms=max_atoms)
+    result = run_chase(
+        tgds, green_instance, max_stages=max_stages, max_atoms=max_atoms, engine=engine
+    )
     collapsed_chase = dalt_structure(result.structure)
     collapsed_input = dalt_structure(green_instance)
     witness = chase_collapse_witness(result)
@@ -102,10 +109,13 @@ def observation6_witness(
     green_instance: Structure,
     max_stages: int = 6,
     max_atoms: int = 4_000,
+    engine: EngineSpec = None,
 ) -> Optional[Dict[object, object]]:
     """Return an explicit Observation 6 homomorphism for a chase prefix."""
     tgds = build_tq(queries)
-    result = chase(tgds, green_instance, max_stages=max_stages, max_atoms=max_atoms)
+    result = run_chase(
+        tgds, green_instance, max_stages=max_stages, max_atoms=max_atoms, engine=engine
+    )
     collapsed_chase = dalt_structure(result.structure)
     collapsed_input = dalt_structure(green_instance)
     witness = chase_collapse_witness(result)

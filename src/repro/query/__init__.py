@@ -1,0 +1,64 @@
+"""Unified index-backed query evaluation (the query-side engine room).
+
+Every query-shaped hot path of the library — CQ evaluation ``Q(D)``,
+containment witnesses, determinacy certificate checks, TGD satisfaction,
+spider-query matching, the Lemma-25 cross-validation — used to spin up a
+fresh backtracking :class:`~repro.core.homomorphism.HomomorphismProblem`
+that re-materialised per-predicate candidate tuples on every call.  This
+package replaces that with a *planned* evaluator over the same
+:class:`~repro.engine.indexes.AtomIndex` posting lists that power the
+semi-naive chase engine:
+
+* :mod:`~repro.query.context` — :class:`EvalContext`: one listener-maintained
+  index per structure, built on first use and shared with the chase engine
+  (a structure chased by :class:`~repro.engine.seminaive.SemiNaiveChaseEngine`
+  arrives with its index already warm — no rebuild for the post-chase
+  certificate / containment check);
+* :mod:`~repro.query.plan` — greedy most-constrained-first join-order
+  planning with statically precomputed bound positions;
+* :mod:`~repro.query.evaluator` — the executor plus a functional layer that
+  is a drop-in, differential-tested replacement for
+  :mod:`repro.core.homomorphism` (``tests/test_query_eval.py`` proves the
+  solution sets identical on random CQs, random structures and the spider
+  corpus; the reference search remains the authoritative oracle).
+
+Layering: this package sits between :mod:`repro.core` and everything else.
+It imports only ``repro.core`` and ``repro.engine.indexes``; the chase layer
+calls into it through function-level imports, so no import cycles arise.
+"""
+
+from .context import EvalContext, get_context, shared_context
+from .evaluator import (
+    all_homomorphisms,
+    evaluate,
+    exists_homomorphism,
+    exists_match,
+    extend_match,
+    find_homomorphism,
+    iter_homomorphisms,
+    iter_matches,
+    iter_plan_matches,
+    query_holds,
+    query_homomorphisms,
+)
+from .plan import PlanStep, QueryPlan, plan_atoms
+
+__all__ = [
+    "EvalContext",
+    "PlanStep",
+    "QueryPlan",
+    "all_homomorphisms",
+    "evaluate",
+    "exists_homomorphism",
+    "exists_match",
+    "extend_match",
+    "find_homomorphism",
+    "get_context",
+    "iter_homomorphisms",
+    "iter_matches",
+    "iter_plan_matches",
+    "plan_atoms",
+    "query_holds",
+    "query_homomorphisms",
+    "shared_context",
+]

@@ -1,0 +1,129 @@
+"""Evaluation contexts: one listener-maintained index per structure.
+
+Before this layer existed, every query-shaped call — CQ evaluation,
+containment, certificate checks, trigger satisfaction — built a fresh
+:class:`~repro.core.homomorphism.HomomorphismProblem` that re-materialised
+per-predicate candidate tuples from scratch.  An :class:`EvalContext` owns an
+:class:`~repro.engine.indexes.AtomIndex` per :class:`~repro.core.structure.
+Structure` instead: the first query against a structure builds the index
+once, the index registers itself as a structure listener, and every later
+query (and every mutation in between) reuses it incrementally.
+
+The context is also the hand-off point between the chase engine and the
+query layer: :meth:`EvalContext.adopt` lets
+:class:`~repro.engine.seminaive.SemiNaiveChaseEngine` donate the index it
+maintained during a run, so the post-chase certificate / containment checks
+on the chased structure start from a warm index instead of rebuilding one
+(see the ``indexes_built`` / ``indexes_reused`` counters, which the tests
+use to prove no rebuild happens).
+
+Lifetime: the context only keeps a *weak* reference to each index.  The
+structure itself keeps its index alive through its listener list, so an
+index lives exactly as long as the structure it mirrors; when the structure
+is garbage-collected the (structure ↔ index) cycle goes with it and the
+context entry is purged lazily.
+"""
+
+from __future__ import annotations
+
+import weakref
+from typing import TYPE_CHECKING, Dict, Optional
+
+from ..core.structure import Structure
+
+if TYPE_CHECKING:  # imported lazily at runtime to keep the layering acyclic
+    from ..engine.indexes import AtomIndex
+
+#: Purge dead weak references whenever the table grows past this many entries
+#: beyond the last purge (keeps the registry O(live structures)).
+_PURGE_INTERVAL = 256
+
+
+class EvalContext:
+    """A registry of per-structure :class:`AtomIndex` instances.
+
+    Entries are keyed by structure *identity* (not equality: structures are
+    mutable, so content-based hashing would corrupt the table as they grow).
+    """
+
+    def __init__(self) -> None:
+        self._entries: Dict[int, "weakref.ref[AtomIndex]"] = {}
+        self._inserts_since_purge = 0
+        #: Number of indexes this context built itself.
+        self.indexes_built = 0
+        #: Number of lookups answered by an already-registered index.
+        self.indexes_reused = 0
+        #: Number of indexes donated by a chase engine via :meth:`adopt`.
+        self.indexes_adopted = 0
+
+    # ------------------------------------------------------------------
+    def index_for(self, structure: Structure) -> "AtomIndex":
+        """The index following *structure*, building (and caching) it once."""
+        existing = self._lookup(structure)
+        if existing is not None:
+            self.indexes_reused += 1
+            return existing
+        from ..engine.indexes import AtomIndex
+
+        index = AtomIndex(structure)
+        self.indexes_built += 1
+        self._remember(structure, index)
+        return index
+
+    def adopt(self, structure: Structure, index: AtomIndex) -> None:
+        """Register an already-attached *index* for *structure*.
+
+        Called by the semi-naive chase engine at the end of a run so the
+        chased structure's index survives into the query layer.  The index
+        must currently be following *structure*.
+        """
+        if index.structure is not structure:
+            raise ValueError("adopted index does not follow the given structure")
+        self.indexes_adopted += 1
+        self._remember(structure, index)
+
+    def peek(self, structure: Structure) -> Optional[AtomIndex]:
+        """The registered index for *structure*, or ``None`` (never builds)."""
+        return self._lookup(structure)
+
+    def forget(self, structure: Structure) -> None:
+        """Detach and drop the index for *structure* (no-op when absent)."""
+        index = self._lookup(structure)
+        self._entries.pop(id(structure), None)
+        if index is not None:
+            index.detach()
+
+    def __len__(self) -> int:
+        return sum(1 for ref in self._entries.values() if ref() is not None)
+
+    # ------------------------------------------------------------------
+    def _lookup(self, structure: Structure) -> Optional[AtomIndex]:
+        ref = self._entries.get(id(structure))
+        if ref is None:
+            return None
+        index = ref()
+        # ``id`` values are recycled after garbage collection, so an entry
+        # only counts when its index still follows this exact structure.
+        if index is None or index.structure is not structure:
+            return None
+        return index
+
+    def _remember(self, structure: Structure, index: AtomIndex) -> None:
+        self._entries[id(structure)] = weakref.ref(index)
+        self._inserts_since_purge += 1
+        if self._inserts_since_purge >= _PURGE_INTERVAL:
+            self._inserts_since_purge = 0
+            dead = [key for key, ref in self._entries.items() if ref() is None]
+            for key in dead:
+                del self._entries[key]
+
+
+#: The process-wide default context.  The functional API of
+#: :mod:`repro.query.evaluator` and the chase engine's index hand-off both
+#: use it unless the caller supplies an explicit context.
+shared_context = EvalContext()
+
+
+def get_context(context: Optional[EvalContext] = None) -> EvalContext:
+    """*context* itself, or the shared default when ``None``."""
+    return context if context is not None else shared_context

@@ -1,0 +1,323 @@
+"""Plan-based, index-backed conjunctive-query evaluation.
+
+This is the query-side counterpart of the semi-naive chase engine: the same
+:class:`~repro.engine.indexes.AtomIndex` posting lists that drive delta
+trigger discovery drive a planned join here.  The functional layer at the
+bottom is a drop-in replacement for :mod:`repro.core.homomorphism` —
+identical solution *sets* (the reference backtracking search stays the
+authoritative oracle, see ``tests/test_query_eval.py`` for the differential
+suite) including ``fix`` pre-bindings, ``frozen`` elements and rigid
+constants — with two performance differences:
+
+* candidate atoms come from the most selective ``(predicate, position,
+  value)`` posting list of the structure's cached index instead of a scan of
+  every atom of the predicate, and
+* the index is built once per structure (and maintained incrementally
+  through structure listeners) instead of once per query; a structure that
+  was just chased by the semi-naive engine arrives with its index already
+  warm (see :mod:`repro.query.context`).
+
+Layering invariant: this package imports only :mod:`repro.core` and
+:mod:`repro.engine.indexes` — never :mod:`repro.chase` — so the chase layer
+may call into it (lazily) without creating import cycles.
+"""
+
+from __future__ import annotations
+
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    Iterable,
+    Iterator,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from ..core.atoms import Atom
+from ..core.structure import Structure
+from ..core.terms import is_rigid
+from .context import EvalContext, get_context
+from .plan import PlanStep, QueryPlan, plan_atoms
+
+if TYPE_CHECKING:  # type-only: keeps repro.query importable before repro.engine
+    from ..engine.indexes import AtomIndex
+
+Assignment = Dict[object, object]
+
+
+# ----------------------------------------------------------------------
+# Matching primitives
+# ----------------------------------------------------------------------
+def extend_match(
+    source_atom: Atom, target_atom: Atom, assignment: Assignment
+) -> Optional[Assignment]:
+    """Extend *assignment* so that *source_atom* maps onto *target_atom*.
+
+    Already-bound arguments (which include pre-bound rigid constants and
+    ``fix`` entries) must agree with the target; unbound rigid constants must
+    map to themselves and are *not* added to the assignment; repeated
+    variables must agree.  Returns ``None`` on mismatch, and avoids copying
+    the assignment until the first genuinely new binding.
+    """
+    if len(source_atom.args) != len(target_atom.args):
+        return None
+    extension: Optional[Assignment] = None
+    for src, dst in zip(source_atom.args, target_atom.args):
+        current = assignment if extension is None else extension
+        if src in current:
+            if current[src] != dst:
+                return None
+        elif is_rigid(src):
+            if src != dst:
+                return None
+        else:
+            if extension is None:
+                extension = dict(assignment)
+            extension[src] = dst
+    return assignment if extension is None else extension
+
+
+def _execute(
+    steps: Tuple[PlanStep, ...],
+    position: int,
+    index: AtomIndex,
+    assignment: Assignment,
+    hi: Optional[int],
+) -> Iterator[Assignment]:
+    """Depth-first execution of the plan suffix starting at *position*."""
+    if position == len(steps):
+        yield assignment
+        return
+    step = steps[position]
+    atom = step.atom
+    bound: Dict[int, object] = {}
+    for arg_position in step.bound_positions:
+        arg = atom.args[arg_position]
+        if arg in assignment:
+            bound[arg_position] = assignment[arg]
+        else:  # an unbound rigid constant maps to itself
+            bound[arg_position] = arg
+    for candidate in index.candidates(atom, bound, hi):
+        extension = extend_match(atom, candidate, assignment)
+        if extension is None:
+            continue
+        if extension is assignment:
+            # No new bindings: keep recursing on the shared dict (safe, the
+            # deeper levels copy before they write).
+            yield from _execute(steps, position + 1, index, assignment, hi)
+        else:
+            yield from _execute(steps, position + 1, index, extension, hi)
+
+
+def iter_plan_matches(
+    plan: QueryPlan,
+    index: AtomIndex,
+    assignment: Optional[Assignment] = None,
+    hi: Optional[int] = None,
+) -> Iterator[Assignment]:
+    """All extensions of *assignment* matching every planned atom.
+
+    ``hi`` bounds the candidate stamps (``None`` = the full index); the
+    yielded dictionaries are shared with the search — callers that store
+    them must copy (the public APIs below do).
+    """
+    return _execute(plan.steps, 0, index, dict(assignment or {}), hi)
+
+
+# ----------------------------------------------------------------------
+# Index-level API (no structure at hand — used by the chase engines)
+# ----------------------------------------------------------------------
+def iter_matches(
+    atoms: Sequence[Atom],
+    index: AtomIndex,
+    assignment: Optional[Assignment] = None,
+    hi: Optional[int] = None,
+) -> Iterator[Assignment]:
+    """Planned matches of *atoms* against *index*, extending *assignment*."""
+    start: Assignment = dict(assignment or {})
+    # Rigid constants need no pre-binding here: the planner marks their
+    # positions bound and the executor anchors them to themselves.
+    plan = plan_atoms(atoms, index, bound=set(start))
+    return _execute(plan.steps, 0, index, start, hi)
+
+
+def exists_match(
+    atoms: Sequence[Atom],
+    index: AtomIndex,
+    assignment: Optional[Assignment] = None,
+    hi: Optional[int] = None,
+) -> bool:
+    """Does at least one planned match of *atoms* exist in *index*?"""
+    return next(iter_matches(atoms, index, assignment, hi), None) is not None
+
+
+# ----------------------------------------------------------------------
+# Structure-level API (the drop-in replacement for core.homomorphism)
+# ----------------------------------------------------------------------
+def _initial_assignment(
+    source_atoms: Sequence[Atom],
+    target: Structure,
+    fix: Optional[Mapping[object, object]],
+    frozen: Iterable[object],
+) -> Optional[Assignment]:
+    """The pre-bound part of the search, or ``None`` when unsatisfiable.
+
+    Mirrors ``HomomorphismProblem._initial_assignment`` exactly: ``fix``
+    entries are taken as-is, rigid constants and frozen elements must map to
+    themselves, and any pre-bound element that occurs in a source atom must
+    have its image in the target domain.
+    """
+    assignment: Assignment = dict(fix or {})
+    frozen_set = set(frozen)
+    for atom in source_atoms:
+        for arg in atom.args:
+            if is_rigid(arg) or arg in frozen_set:
+                if arg in assignment and assignment[arg] != arg:
+                    return None
+                assignment[arg] = arg
+    if source_atoms:
+        for element, image in assignment.items():
+            if not target.has_element(image):
+                if any(element in atom.args for atom in source_atoms):
+                    return None
+    return assignment
+
+
+def _source_atoms(source: Structure | Sequence[Atom]) -> list:
+    return list(source.atoms()) if isinstance(source, Structure) else list(source)
+
+
+def iter_homomorphisms(
+    source: Structure | Sequence[Atom],
+    target: Structure,
+    fix: Optional[Mapping[object, object]] = None,
+    frozen: Iterable[object] = (),
+    limit: Optional[int] = None,
+    context: Optional[EvalContext] = None,
+) -> Iterator[Assignment]:
+    """Yield homomorphisms ``source → target`` through the planned evaluator.
+
+    Same contract as ``HomomorphismProblem(...).solutions(limit)``: the
+    yielded dictionaries bind every ``fix`` key, every rigid/frozen element
+    occurring in the source atoms, and every source variable.  The index
+    watermark is captured before the first solution is produced, so atoms
+    added to *target* while the generator is being consumed are not seen
+    (the reference search snapshots its candidates the same way).
+    """
+    atoms = _source_atoms(source)
+    assignment = _initial_assignment(atoms, target, fix, frozen)
+    if assignment is None:
+        return
+    index = get_context(context).index_for(target)
+    hi = index.watermark()
+    plan = plan_atoms(atoms, index, bound=set(assignment))
+    produced = 0
+    for solution in _execute(plan.steps, 0, index, dict(assignment), hi):
+        yield dict(solution)
+        produced += 1
+        if limit is not None and produced >= limit:
+            return
+
+
+def all_homomorphisms(
+    source: Structure | Sequence[Atom],
+    target: Structure,
+    fix: Optional[Mapping[object, object]] = None,
+    limit: Optional[int] = None,
+    context: Optional[EvalContext] = None,
+) -> Iterator[Assignment]:
+    """Index-backed drop-in for :func:`repro.core.homomorphism.all_homomorphisms`."""
+    return iter_homomorphisms(source, target, fix=fix, limit=limit, context=context)
+
+
+def find_homomorphism(
+    source: Structure | Sequence[Atom],
+    target: Structure,
+    fix: Optional[Mapping[object, object]] = None,
+    context: Optional[EvalContext] = None,
+) -> Optional[Assignment]:
+    """Index-backed drop-in for :func:`repro.core.homomorphism.find_homomorphism`."""
+    # Imported here (not at module level) only to share the single source of
+    # truth for the isolated-element completion rule with the reference.
+    from ..core.homomorphism import _complete_isolated
+
+    atoms = _source_atoms(source)
+    for solution in iter_homomorphisms(atoms, target, fix=fix, limit=1, context=context):
+        if isinstance(source, Structure):
+            _complete_isolated(source, target, solution)
+        return solution
+    if isinstance(source, Structure) and not atoms:
+        solution = dict(fix or {})
+        _complete_isolated(source, target, solution)
+        return solution
+    if not isinstance(source, Structure) and not atoms:
+        return dict(fix or {})
+    return None
+
+
+def exists_homomorphism(
+    source: Structure | Sequence[Atom],
+    target: Structure,
+    fix: Optional[Mapping[object, object]] = None,
+    context: Optional[EvalContext] = None,
+) -> bool:
+    """Index-backed drop-in for :func:`repro.core.homomorphism.has_homomorphism`."""
+    return find_homomorphism(source, target, fix=fix, context=context) is not None
+
+
+# ----------------------------------------------------------------------
+# Query-level API
+# ----------------------------------------------------------------------
+def query_homomorphisms(
+    query, instance: Structure, context: Optional[EvalContext] = None
+) -> Iterator[Assignment]:
+    """All homomorphisms of the canonical structure of *query* into *instance*.
+
+    *query* is anything with ``atoms`` (duck-typed to avoid importing
+    :mod:`repro.core.query`, which itself routes through this module).
+    """
+    return iter_homomorphisms(list(query.atoms), instance, context=context)
+
+
+def evaluate(
+    query, instance: Structure, context: Optional[EvalContext] = None
+) -> frozenset:
+    """The relation ``Q(D) = {ā : D |= Q(ā)}`` via the planned evaluator."""
+    free = tuple(query.free_variables)
+    answers = set()
+    for assignment in iter_homomorphisms(list(query.atoms), instance, context=context):
+        answers.add(tuple(assignment[v] for v in free))
+    return frozenset(answers)
+
+
+def query_holds(
+    query,
+    instance: Structure,
+    answer: Sequence[object] = (),
+    context: Optional[EvalContext] = None,
+) -> bool:
+    """``D |= Q(ā)`` (boolean satisfaction when *answer* is empty).
+
+    Raises :class:`repro.core.query.QueryError` when a non-empty *answer*
+    does not match the query arity (same contract as the reference
+    ``ConjunctiveQuery.holds``).
+    """
+    free = tuple(query.free_variables)
+    if answer and len(answer) != len(free):
+        from ..core.query import QueryError
+
+        raise QueryError(
+            f"answer arity {len(answer)} does not match query arity {len(free)}"
+        )
+    fix: Assignment = dict(zip(free, answer)) if answer else {}
+    return (
+        next(
+            iter_homomorphisms(
+                list(query.atoms), instance, fix=fix, limit=1, context=context
+            ),
+            None,
+        )
+        is not None
+    )

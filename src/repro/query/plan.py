@@ -1,0 +1,106 @@
+"""Greedy join-order planning over :class:`~repro.engine.indexes.AtomIndex`.
+
+A :class:`QueryPlan` fixes, once per evaluation, the order in which the
+source atoms are matched and which argument positions are already bound when
+each atom's turn comes.  The ordering is the same greedy
+"most-constrained-first" heuristic the reference backtracking search uses —
+minimise the number of *new* variables an atom introduces, prefer atoms
+connected to already-bound variables, break ties by posting-list size — so
+the search tree has the same shape; the difference is that the executor
+(:mod:`repro.query.evaluator`) walks each node through a
+``(predicate, position, value)`` posting list instead of scanning every atom
+of the predicate.
+
+Planning is separated from execution so it can be inspected and tested on
+its own, and so the bound-position sets (which are a *static* property of
+the join order) are computed once instead of at every search node.  Which of
+the bound positions is most selective still depends on the runtime values
+and is chosen per node by :meth:`AtomIndex.candidates`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Iterable, List, Sequence, Set, Tuple
+
+from ..core.atoms import Atom
+from ..core.terms import is_rigid
+
+if TYPE_CHECKING:  # type-only: keeps repro.query importable before repro.engine
+    from ..engine.indexes import AtomIndex
+
+
+@dataclass(frozen=True)
+class PlanStep:
+    """One atom of the join order plus its statically-known binding info.
+
+    ``bound_positions`` are the argument positions whose value is determined
+    before this step runs (rigid constants, initially-bound elements, or
+    variables bound by an earlier step); ``introduces`` are the distinct
+    non-rigid arguments this step binds for the first time.
+    """
+
+    atom: Atom
+    bound_positions: Tuple[int, ...]
+    introduces: Tuple[object, ...]
+
+
+@dataclass(frozen=True)
+class QueryPlan:
+    """An ordered sequence of :class:`PlanStep` covering all source atoms."""
+
+    steps: Tuple[PlanStep, ...]
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+    def order(self) -> Tuple[Atom, ...]:
+        """The planned atom order (mostly for tests and debugging)."""
+        return tuple(step.atom for step in self.steps)
+
+
+def plan_atoms(
+    atoms: Sequence[Atom],
+    index: "AtomIndex",
+    bound: Iterable[object] = (),
+) -> QueryPlan:
+    """Build a greedy join-order plan for *atoms* against *index*.
+
+    *bound* are the source elements whose image is already fixed before the
+    search starts (``fix`` entries, frozen elements, rigid constants).
+    """
+    remaining: List[Atom] = list(atoms)
+    bound_now: Set[object] = set(bound)
+    steps: List[PlanStep] = []
+    while remaining:
+
+        def score(atom: Atom) -> Tuple[int, int, int]:
+            new_vars = 0
+            connected = 0
+            for arg in set(atom.args):
+                if is_rigid(arg):
+                    continue
+                if arg in bound_now:
+                    connected += 1
+                else:
+                    new_vars += 1
+            return (new_vars, -connected, index.count(atom.predicate))
+
+        best = min(remaining, key=score)
+        remaining.remove(best)
+        positions: List[int] = []
+        introduces: List[object] = []
+        for position, arg in enumerate(best.args):
+            if is_rigid(arg) or arg in bound_now:
+                positions.append(position)
+            elif arg not in introduces:
+                introduces.append(arg)
+        steps.append(
+            PlanStep(
+                atom=best,
+                bound_positions=tuple(positions),
+                introduces=tuple(introduces),
+            )
+        )
+        bound_now.update(best.args)
+    return QueryPlan(steps=tuple(steps))

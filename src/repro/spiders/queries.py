@@ -25,11 +25,13 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 from enum import Enum
-from typing import Dict, List, Tuple
+from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.atoms import Atom
 from ..core.query import ConjunctiveQuery
+from ..core.structure import Structure
 from ..core.terms import Variable
+from ..query.evaluator import iter_homomorphisms
 from .algebra import SpiderQuerySpec
 from .anatomy import CALF_END, HEAD_PREDICATE, calf_predicate, thigh_predicate
 from .ideal import SpiderUniverse
@@ -141,3 +143,34 @@ def query_pair_name(
 ) -> str:
     """The canonical name of an ``F2`` query."""
     return f"{first.key()} {kind.value} {second.key()}"
+
+
+# ----------------------------------------------------------------------
+# Index-backed spider-query matching
+# ----------------------------------------------------------------------
+def spider_query_matches(
+    universe: SpiderUniverse,
+    spec: SpiderQuerySpec,
+    structure: Structure,
+    prefix: str = "s",
+    limit: Optional[int] = None,
+) -> Iterator[Dict[object, object]]:
+    """Matches of the body of ``f^I_J`` in *structure*, planned and indexed.
+
+    The spider bodies are the worst case for the reference backtracking
+    search: every calf atom touches the shared ``calf_end`` constant, so a
+    naive enumeration degenerates into a cross-product.  Here the body runs
+    through :mod:`repro.query` — the greedy plan anchors the search at the
+    ``SpiderHead`` atom and walks thighs/calves through
+    ``(predicate, position, value)`` posting lists of the structure's cached
+    index.
+    """
+    body = unary_query_body(universe, spec, prefix=prefix)
+    return iter_homomorphisms(list(body.atoms), structure, limit=limit)
+
+
+def spider_query_holds(
+    universe: SpiderUniverse, spec: SpiderQuerySpec, structure: Structure
+) -> bool:
+    """Does ``∃* f^I_J`` hold in *structure*?"""
+    return next(spider_query_matches(universe, spec, structure, limit=1), None) is not None

@@ -22,8 +22,8 @@ from typing import Iterable, List, Sequence, Set
 
 from ..chase.tgd import TGD
 from ..core.atoms import Atom
-from ..core.homomorphism import all_homomorphisms
 from ..core.structure import Structure
+from ..query.evaluator import iter_homomorphisms
 
 
 def important_atoms(
@@ -32,25 +32,39 @@ def important_atoms(
     seeds: Iterable[Atom],
     max_rounds: int = 1_000,
 ) -> Set[Atom]:
-    """The least fixpoint of the importance operator of Definition 31."""
+    """The least fixpoint of the importance operator of Definition 31.
+
+    The witness structure of important atoms is grown *incrementally*: its
+    index (maintained through a structure listener by the planned evaluator
+    of :mod:`repro.query`) follows every ``add_atom``, so each round matches
+    rule bodies against posting lists instead of rebuilding a structure and
+    re-materialising candidates.  Newly important atoms become visible to
+    the matcher from the next enumeration on, which can only speed up
+    convergence — the least fixpoint itself is unchanged (the importance
+    operator is monotone).
+    """
     important: Set[Atom] = {atom for atom in seeds if atom in structure.atoms()}
+    important_structure = Structure(important)
+    for element in structure.domain():
+        important_structure.add_element(element)
     for _ in range(max_rounds):
         added = False
-        important_structure = Structure(important)
-        for element in structure.domain():
-            important_structure.add_element(element)
         for tgd in tgds:
-            for body_match in all_homomorphisms(list(tgd.body), important_structure):
+            # The evaluator snapshots the index watermark before yielding,
+            # so atoms added below stay invisible to this enumeration —
+            # streaming the matches is safe.
+            for body_match in iter_homomorphisms(list(tgd.body), important_structure):
                 frontier = {
                     var: body_match[var] for var in tgd.frontier() if var in body_match
                 }
-                for head_match in all_homomorphisms(
+                for head_match in iter_homomorphisms(
                     list(tgd.head), structure, fix=frontier
                 ):
                     for atom in tgd.head:
                         witness = atom.substitute(head_match)
                         if witness not in important:
                             important.add(witness)
+                            important_structure.add_atom(witness)
                             added = True
         if not added:
             break

@@ -1,0 +1,232 @@
+"""Differential suite: planned index-backed evaluator ≡ reference search.
+
+The backtracking :class:`repro.core.homomorphism.HomomorphismProblem` is the
+authoritative oracle for homomorphism semantics; `repro.query` must return
+*exactly* the same solution sets — including ``fix`` pre-bindings, ``frozen``
+elements and rigid constants — on random conjunctive queries, random
+structures and the spider-query corpus.  The suite also locks in the two
+sharing properties of the new layer: per-structure indexes are cached and
+maintained incrementally, and a structure chased by the semi-naive engine
+arrives in the query layer with its index already built (no rebuild).
+"""
+
+from hypothesis import given, settings, strategies as st
+
+import repro.query as q
+from repro.core.atoms import Atom
+from repro.core.homomorphism import HomomorphismProblem
+from repro.core.structure import Structure
+from repro.core.terms import Constant, Variable
+from repro.engine import run_chase
+from repro.chase.tgd import parse_tgds
+from repro.greenred.coloring import dalt_structure
+from repro.query.plan import plan_atoms
+from repro.spiders.algebra import SpiderQuerySpec
+from repro.spiders.anatomy import add_real_spider
+from repro.spiders.ideal import IdealSpider, SpiderUniverse
+from repro.spiders.queries import spider_query_matches, unary_query_body
+from repro.greenred.coloring import Color
+
+
+# ----------------------------------------------------------------------
+# Strategies: random structures and CQ bodies over a small vocabulary
+# ----------------------------------------------------------------------
+_CONSTANT = Constant("c")
+_elements = st.one_of(
+    st.integers(min_value=0, max_value=4).map(str), st.just(_CONSTANT)
+)
+_predicates = st.sampled_from(["R", "S", "T"])
+_variables = st.sampled_from([Variable(n) for n in ("x", "y", "z", "w")])
+_terms = st.one_of(_variables, st.just(_CONSTANT))
+
+
+@st.composite
+def ground_atoms(draw):
+    predicate = draw(_predicates)
+    arity = 1 if predicate == "T" else 2
+    return Atom(predicate, tuple(draw(_elements) for _ in range(arity)))
+
+
+@st.composite
+def structures(draw):
+    atoms = draw(st.lists(ground_atoms(), min_size=0, max_size=10))
+    return Structure(atoms, domain=[_CONSTANT])
+
+
+@st.composite
+def query_bodies(draw):
+    count = draw(st.integers(min_value=0, max_value=4))
+    atoms = []
+    for _ in range(count):
+        predicate = draw(_predicates)
+        arity = 1 if predicate == "T" else 2
+        atoms.append(Atom(predicate, tuple(draw(_terms) for _ in range(arity))))
+    return atoms
+
+
+def canonical(solutions):
+    """Hashable canonical form of a set of assignment dictionaries."""
+    return frozenset(
+        frozenset((repr(k), v) for k, v in solution.items())
+        for solution in solutions
+    )
+
+
+# ----------------------------------------------------------------------
+# Random CQs × random structures
+# ----------------------------------------------------------------------
+@given(query_bodies(), structures())
+@settings(max_examples=120, deadline=None)
+def test_planned_evaluator_matches_reference_on_random_cqs(atoms, target):
+    reference = canonical(HomomorphismProblem(atoms, target).solutions())
+    planned = canonical(q.all_homomorphisms(atoms, target))
+    assert planned == reference
+
+
+@given(query_bodies(), structures(), st.dictionaries(_variables, _elements, max_size=2))
+@settings(max_examples=80, deadline=None)
+def test_planned_evaluator_matches_reference_with_fix(atoms, target, fix):
+    reference = canonical(HomomorphismProblem(atoms, target, fix=fix).solutions())
+    planned = canonical(q.all_homomorphisms(atoms, target, fix=fix))
+    assert planned == reference
+
+
+@given(query_bodies(), structures(), st.sets(_variables, max_size=2))
+@settings(max_examples=80, deadline=None)
+def test_planned_evaluator_matches_reference_with_frozen(atoms, target, frozen):
+    reference = canonical(
+        HomomorphismProblem(atoms, target, frozen=frozen).solutions()
+    )
+    planned = canonical(q.iter_homomorphisms(atoms, target, frozen=frozen))
+    assert planned == reference
+
+
+@given(query_bodies(), structures())
+@settings(max_examples=60, deadline=None)
+def test_limit_and_existence_agree_with_reference(atoms, target):
+    reference_first = next(HomomorphismProblem(atoms, target).solutions(limit=1), None)
+    planned_first = next(q.all_homomorphisms(atoms, target, limit=1), None)
+    assert (reference_first is None) == (planned_first is None)
+    assert q.exists_homomorphism(atoms, target) == (reference_first is not None)
+
+
+# ----------------------------------------------------------------------
+# The spider-query corpus (the paper's own worst-case bodies)
+# ----------------------------------------------------------------------
+def _spider_corpus_structure(universe):
+    structure = Structure(domain=())
+    tails = ["t0", "t1"]
+    species = [
+        IdealSpider(Color.GREEN),
+        IdealSpider(Color.GREEN, upper="1"),
+        IdealSpider(Color.RED, lower="2"),
+        IdealSpider(Color.RED, upper="2", lower="1"),
+    ]
+    for index, kind in enumerate(species):
+        add_real_spider(
+            structure,
+            universe,
+            kind,
+            tails[index % len(tails)],
+            f"ant{index}",
+            vertex_prefix=f"sp{index}",
+        )
+    return dalt_structure(structure)
+
+
+def test_spider_queries_match_reference_on_corpus():
+    universe = SpiderUniverse(("1", "2"))
+    corpus = _spider_corpus_structure(universe)
+    specs = [
+        SpiderQuerySpec(),
+        SpiderQuerySpec(upper="1"),
+        SpiderQuerySpec(lower="2"),
+        SpiderQuerySpec(upper="2", lower="1"),
+        SpiderQuerySpec(upper="1", lower="1"),
+    ]
+    for spec in specs:
+        body = unary_query_body(universe, spec, prefix="s")
+        reference = canonical(
+            HomomorphismProblem(list(body.atoms), corpus).solutions()
+        )
+        planned = canonical(spider_query_matches(universe, spec, corpus))
+        assert planned == reference, spec.key()
+
+
+# ----------------------------------------------------------------------
+# Planning invariants
+# ----------------------------------------------------------------------
+def test_plan_covers_every_atom_and_marks_bound_positions():
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    atoms = [
+        Atom("R", (x, y)),
+        Atom("R", (y, z)),
+        Atom("S", (z, _CONSTANT)),
+    ]
+    target = Structure(
+        [Atom("R", ("a", "b")), Atom("R", ("b", "d")), Atom("S", ("d", _CONSTANT))]
+    )
+    context = q.EvalContext()
+    index = context.index_for(target)
+    plan = plan_atoms(atoms, index)
+    assert sorted(map(repr, plan.order())) == sorted(map(repr, atoms))
+    bound = set()
+    for step in plan.steps:
+        for position in step.bound_positions:
+            arg = step.atom.args[position]
+            assert arg == _CONSTANT or arg in bound
+        bound.update(step.atom.args)
+
+
+# ----------------------------------------------------------------------
+# Context sharing: cached indexes, incremental maintenance, chase hand-off
+# ----------------------------------------------------------------------
+def test_context_caches_and_maintains_index_incrementally():
+    context = q.EvalContext()
+    target = Structure([Atom("R", ("a", "b"))])
+    x, y = Variable("x"), Variable("y")
+    atoms = [Atom("R", (x, y))]
+    assert len(list(q.all_homomorphisms(atoms, target, context=context))) == 1
+    assert context.indexes_built == 1
+    # The same structure is served by the same index...
+    target.add_atom(Atom("R", ("b", "c")))
+    assert len(list(q.all_homomorphisms(atoms, target, context=context))) == 2
+    assert context.indexes_built == 1
+    assert context.indexes_reused >= 1
+    # ...which followed the mutation through the structure listener.
+    assert context.peek(target) is not None
+    assert context.peek(target).count("R") == 2
+
+
+def test_chased_structure_index_is_reused_not_rebuilt():
+    tgds = parse_tgds("R(x,y), R(y,z) -> S(x,z)", "S(x,y), R(y,z) -> S(x,z)")
+    instance = Structure(
+        [Atom("R", (str(i), str(i + 1))) for i in range(8)]
+    )
+    result = run_chase(tgds, instance, max_stages=50, max_atoms=10_000)
+    assert result.reached_fixpoint
+    # The semi-naive engine donated its run index to the shared context.
+    donated = q.shared_context.peek(result.structure)
+    assert donated is not None
+    built_before = q.shared_context.indexes_built
+    x, z = Variable("x"), Variable("z")
+    answers = {
+        (s[x], s[z])
+        for s in q.all_homomorphisms([Atom("S", (x, z))], result.structure)
+    }
+    assert ("0", "7") in answers
+    # No index was rebuilt for the post-chase query.
+    assert q.shared_context.indexes_built == built_before
+    assert q.shared_context.peek(result.structure) is donated
+
+
+def test_evaluator_sees_snapshot_even_while_target_grows():
+    target = Structure([Atom("R", ("a", "b"))])
+    x, y = Variable("x"), Variable("y")
+    solutions = q.all_homomorphisms([Atom("R", (x, y))], target)
+    first = next(solutions)
+    # Growing the structure mid-consumption must not leak new atoms into
+    # this evaluation (the reference search snapshots its candidates too).
+    target.add_atom(Atom("R", ("b", "c")))
+    rest = list(solutions)
+    assert [first] + rest == [{x: "a", y: "b"}]
