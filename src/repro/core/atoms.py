@@ -25,6 +25,14 @@ class Atom:
     def __init__(self, predicate: str, args: Iterable[object]) -> None:
         object.__setattr__(self, "predicate", predicate)
         object.__setattr__(self, "args", tuple(args))
+        # Atoms are hashed constantly — posting-list keys, structure sets,
+        # compiled-plan cache keys — and the dataclass hash would re-hash
+        # every argument term on each call.  Atoms are immutable, so the
+        # hash is computed once here.
+        object.__setattr__(self, "_hash", hash((predicate, self.args)))
+
+    def __hash__(self) -> int:
+        return self._hash  # type: ignore[attr-defined]
 
     @property
     def arity(self) -> int:

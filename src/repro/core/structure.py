@@ -74,6 +74,7 @@ class Structure:
         self._by_element: Dict[object, Set[Atom]] = defaultdict(set)
         self._domain: Set[object] = set()
         self._listeners: List["StructureListener"] = []
+        self._generation = 0
         if signature is not None:
             for constant in signature.constants:
                 self._domain.add(constant)
@@ -89,6 +90,17 @@ class Structure:
     def signature(self) -> Optional[Signature]:
         """The declared signature, or ``None`` when the structure is schemaless."""
         return self._signature
+
+    @property
+    def generation(self) -> int:
+        """A counter bumped by every mutation (atom or element add/remove).
+
+        Derived caches — most importantly the compiled query plans of
+        :mod:`repro.query.compile` — key their validity checks on this value:
+        equal generations guarantee the structure is unchanged since the
+        cache entry was built, without comparing any content.
+        """
+        return self._generation
 
     def inferred_signature(self) -> Signature:
         """A signature inferred from the atoms (and declared constants)."""
@@ -169,6 +181,7 @@ class Structure:
             self._signature.validate_atom(atom)
         if atom in self._atoms:
             return False
+        self._generation += 1
         self._atoms.add(atom)
         self._by_predicate[atom.predicate].add(atom)
         for arg in atom.args:
@@ -187,6 +200,7 @@ class Structure:
         """Add a (possibly isolated) element to the domain."""
         if element in self._domain:
             return False
+        self._generation += 1
         self._domain.add(element)
         return True
 
@@ -198,6 +212,7 @@ class Structure:
         """Remove *atom* (elements stay in the domain); return ``True`` if present."""
         if atom not in self._atoms:
             return False
+        self._generation += 1
         self._atoms.discard(atom)
         self._by_predicate[atom.predicate].discard(atom)
         for arg in atom.args:

@@ -30,7 +30,12 @@ from typing import Optional, Sequence, Union
 from ..chase.chase import ChaseEngine, ChaseResult
 from ..chase.tgd import TGD
 from ..core.structure import Structure
-from .delta import delta_body_matches, delta_frontier_keys, head_satisfied_indexed
+from .delta import (
+    compiled_delta_matches,
+    delta_body_matches,
+    delta_frontier_keys,
+    head_satisfied_indexed,
+)
 from .indexes import AtomIndex
 from .seminaive import SemiNaiveChaseEngine
 from .strategies import (
@@ -148,6 +153,7 @@ __all__ = [
     "EngineSpec",
     "FiringStrategy",
     "SemiNaiveChaseEngine",
+    "compiled_delta_matches",
     "delta_body_matches",
     "delta_frontier_keys",
     "head_satisfied_indexed",

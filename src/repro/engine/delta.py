@@ -25,6 +25,7 @@ from ..chase.tgd import TGD
 from ..chase.trigger import frontier_key
 from ..core.atoms import Atom
 from ..core.terms import is_rigid
+from ..query.compile import compiled_for, execute_nested
 from ..query.evaluator import exists_match, extend_match
 from .indexes import AtomIndex
 
@@ -142,6 +143,48 @@ def delta_body_matches(
             if seeded is None:
                 continue
             yield from _iter_bounded_matches(rest, index, seeded)
+
+
+def compiled_delta_matches(
+    tgd: TGD,
+    index: AtomIndex,
+    delta_lo: int,
+    stage_start: int,
+) -> Iterator[Assignment]:
+    """:func:`delta_body_matches` through the compiled query runtime.
+
+    Produces the same assignment set (the differential tests in
+    ``tests/test_engine_seminaive.py`` / ``tests/test_query_eval.py`` hold
+    the two against each other), but each ``(body, seed position)`` pair is
+    compiled **once per chase** — the register program and its slot layout
+    are cached on the index — and matching walks interned int rows instead
+    of term-object tuples.  Seed positions whose predicate gained no atoms
+    in the delta window are skipped before any plan is even looked up,
+    which is what makes whole-stage batch discovery one cheap pass when
+    most TGDs are untouched by a stage's delta.
+    """
+    body = tuple(tgd.body)
+    if not body:
+        return
+    interner = index.interner
+    for seed in range(len(body)):
+        pid = interner.predicate_id(body[seed].predicate)
+        posting = index.posting(pid)
+        if posting is None:
+            continue
+        start, stop = posting.bounds(delta_lo, stage_start)
+        if start >= stop:
+            continue  # no delta atoms can seed at this position
+        compiled = compiled_for(index, body, frozenset(), seed=seed)
+        outputs = compiled.outputs
+        for registers in execute_nested(
+            compiled,
+            index,
+            compiled.fresh_registers(),
+            delta_lo=delta_lo,
+            stage_start=stage_start,
+        ):
+            yield {term: interner.term(registers[slot]) for term, slot in outputs}
 
 
 def delta_frontier_keys(

@@ -20,6 +20,16 @@ lists are append-only and stamps increase, "the structure as it was when the
 stage started" is simply a *prefix* of every posting list, located by
 binary search on the stamp — the semi-naive engine therefore needs no
 ``Structure.copy`` per stage at all.
+
+Since the compiled query runtime landed, the index stores **interned facts**:
+every term and predicate is mapped to a dense integer ID by the per-index
+:class:`~repro.query.interning.Interner`, each predicate posting list keeps
+the encoded ``Tuple[int, ...]`` argument row next to the atom object, and the
+``(predicate, position, value)`` posting lists hold plain row offsets into
+the predicate list instead of duplicating atom object references.  The
+compiled executor (:mod:`repro.query.compile`) joins directly on the int
+rows; the object-level API below (``atoms``, ``candidates``, …) is kept
+bit-for-bit compatible for the interpreted paths and the tests.
 """
 
 from __future__ import annotations
@@ -29,36 +39,81 @@ from typing import Dict, Iterator, List, Optional, Tuple
 
 from ..core.atoms import Atom
 from ..core.structure import Structure, StructureListener
+from ..query.interning import Interner
 
 
-class _PostingList:
-    """An append-only list of atoms in ascending sequence-stamp order."""
+class _Stamped:
+    """Shared stamp-window arithmetic of the posting structures.
 
-    __slots__ = ("atoms", "stamps")
+    Entries are appended in ascending sequence-stamp order, so any
+    ``[lo, hi)`` stamp window is a contiguous slice located by binary
+    search on :attr:`stamps`.  Subclasses carry the actual payload lists,
+    kept parallel to ``stamps``.
+    """
+
+    __slots__ = ("stamps",)
 
     def __init__(self) -> None:
-        self.atoms: List[Atom] = []
         self.stamps: List[int] = []
-
-    def append(self, atom: Atom, stamp: int) -> None:
-        self.atoms.append(atom)
-        self.stamps.append(stamp)
 
     def cut(self, before: Optional[int]) -> int:
         """Index of the first entry with stamp ≥ *before* (len when None)."""
         if before is None:
-            return len(self.atoms)
+            return len(self.stamps)
         return bisect_left(self.stamps, before)
 
-    def iter_range(self, lo: Optional[int], hi: Optional[int]) -> Iterator[Atom]:
-        """Atoms with ``lo ≤ stamp < hi`` (open bounds when ``None``)."""
+    def bounds(self, lo: Optional[int], hi: Optional[int]) -> Tuple[int, int]:
+        """``(start, stop)`` offsets of the window ``lo ≤ stamp < hi``."""
         start = 0 if lo is None else bisect_left(self.stamps, lo)
-        stop = self.cut(hi)
-        for position in range(start, stop):
-            yield self.atoms[position]
+        return start, self.cut(hi)
 
     def count_before(self, before: Optional[int]) -> int:
         return self.cut(before)
+
+
+class _PostingList(_Stamped):
+    """Append-only atoms of one predicate, in ascending sequence-stamp order.
+
+    ``rows[i]`` is the interned argument row of ``atoms[i]``; the three lists
+    are parallel.  The compiled executor walks ``rows`` (small-int tuples)
+    and only touches ``atoms`` when a match must be decoded.
+    """
+
+    __slots__ = ("atoms", "rows")
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.atoms: List[Atom] = []
+        self.rows: List[Tuple[int, ...]] = []
+
+    def append(self, atom: Atom, stamp: int, row: Tuple[int, ...]) -> None:
+        self.atoms.append(atom)
+        self.stamps.append(stamp)
+        self.rows.append(row)
+
+    def iter_range(self, lo: Optional[int], hi: Optional[int]) -> Iterator[Atom]:
+        """Atoms with ``lo ≤ stamp < hi`` (open bounds when ``None``)."""
+        start, stop = self.bounds(lo, hi)
+        for position in range(start, stop):
+            yield self.atoms[position]
+
+
+class _RowRefs(_Stamped):
+    """Row offsets (into a predicate posting list) sharing one position value.
+
+    Each entry costs two ints instead of an object reference — the compact
+    ``(predicate, position, value)`` side of the interned fact encoding.
+    """
+
+    __slots__ = ("offsets",)
+
+    def __init__(self) -> None:
+        super().__init__()
+        self.offsets: List[int] = []
+
+    def append(self, offset: int, stamp: int) -> None:
+        self.offsets.append(offset)
+        self.stamps.append(stamp)
 
 
 class AtomIndex(StructureListener):
@@ -69,17 +124,26 @@ class AtomIndex(StructureListener):
     :func:`~repro.chase.trigger.apply_trigger` while a stage is firing — is
     reflected immediately.  Atom *removal* invalidates the append-only
     invariant; it is extremely rare in chase workloads, so the index simply
-    rebuilds itself when it happens.  Stamps stay monotone across rebuilds:
+    rebuilds itself when it happens (bumping :attr:`rebuilds`, which the
+    compiled-plan cache watches).  Stamps stay monotone across rebuilds:
     previously-taken watermarks then denote an empty prefix (everything
     looks new), which over-approximates delta windows rather than silently
-    dropping atoms from them.
+    dropping atoms from them.  The symbol tables of :attr:`interner` are
+    append-only and survive rebuilds, so interned IDs embedded in compiled
+    query plans never dangle.
     """
 
     def __init__(self, structure: Optional[Structure] = None) -> None:
         self._seq = 0
-        self._by_predicate: Dict[str, _PostingList] = {}
-        self._by_position: Dict[Tuple[str, int, object], _PostingList] = {}
+        self._interner = Interner()
+        self._by_predicate: Dict[int, _PostingList] = {}
+        self._by_position: Dict[Tuple[int, int, int], _RowRefs] = {}
         self._structure: Optional[Structure] = None
+        #: Number of full rebuilds (atom removals) this index has performed.
+        self.rebuilds = 0
+        #: Compiled-plan cache slot, lazily populated by
+        #: :func:`repro.query.compile.plan_cache_for`.  Opaque to the engine.
+        self.plan_cache = None
         if structure is not None:
             self.attach(structure)
 
@@ -90,6 +154,11 @@ class AtomIndex(StructureListener):
     def structure(self) -> Optional[Structure]:
         """The structure this index currently follows (``None`` when detached)."""
         return self._structure
+
+    @property
+    def interner(self) -> Interner:
+        """The symbol tables mapping this structure's terms/predicates to IDs."""
+        return self._interner
 
     def attach(self, structure: Structure) -> None:
         """Bulk-load *structure* and follow its future mutations."""
@@ -112,6 +181,7 @@ class AtomIndex(StructureListener):
         # After a rebuild every atom therefore looks newer than any old
         # watermark — delta windows over-approximate (matches may be
         # re-discovered and deduplicated) instead of silently missing atoms.
+        # The interner is NOT reset either: IDs are append-only forever.
         self._by_predicate = {}
         self._by_position = {}
         if self._structure is not None:
@@ -128,24 +198,61 @@ class AtomIndex(StructureListener):
         self._insert(atom)
 
     def atom_removed(self, atom: Atom) -> None:
+        self.rebuilds += 1
         self._reload()
 
     def _insert(self, atom: Atom) -> None:
         stamp = self._seq
         self._seq += 1
-        posting = self._by_predicate.get(atom.predicate)
+        pid, row = self._interner.encode_atom(atom)
+        posting = self._by_predicate.get(pid)
         if posting is None:
-            posting = self._by_predicate[atom.predicate] = _PostingList()
-        posting.append(atom, stamp)
-        for position, value in enumerate(atom.args):
-            key = (atom.predicate, position, value)
-            slot = self._by_position.get(key)
+            posting = self._by_predicate[pid] = _PostingList()
+        offset = len(posting.atoms)
+        posting.append(atom, stamp, row)
+        by_position = self._by_position
+        for position, vid in enumerate(row):
+            key = (pid, position, vid)
+            slot = by_position.get(key)
             if slot is None:
-                slot = self._by_position[key] = _PostingList()
-            slot.append(atom, stamp)
+                slot = by_position[key] = _RowRefs()
+            slot.append(offset, stamp)
 
     # ------------------------------------------------------------------
-    # Queries
+    # Encoded access (the compiled executor's surface)
+    # ------------------------------------------------------------------
+    def predicate_id(self, predicate: str) -> Optional[int]:
+        """The interned ID of *predicate* (``None`` when never seen)."""
+        return self._interner.predicate_id(predicate)
+
+    def posting(self, pid: Optional[int]) -> Optional[_PostingList]:
+        """The posting list of interned predicate *pid* (``None`` when empty)."""
+        if pid is None:
+            return None
+        return self._by_predicate.get(pid)
+
+    def refs(self, pid: int, position: int, vid: int) -> Optional[_RowRefs]:
+        """Row offsets of ``pid`` atoms with value ID *vid* at *position*."""
+        return self._by_position.get((pid, position, vid))
+
+    def tables(
+        self,
+    ) -> Tuple[Dict[int, _PostingList], Dict[Tuple[int, int, int], _RowRefs]]:
+        """The raw ``(by-predicate, by-position)`` tables, for executors.
+
+        The compiled executors probe these dicts millions of times per
+        evaluation; handing them out once per run avoids a method dispatch
+        per search node.  Callers must treat them as read-only and must not
+        hold them across an index rebuild.
+        """
+        return self._by_predicate, self._by_position
+
+    def generation(self) -> Tuple[int, int]:
+        """``(rebuilds, watermark)`` — changes iff the indexed content did."""
+        return (self.rebuilds, self._seq)
+
+    # ------------------------------------------------------------------
+    # Object-level queries (interpreted paths, engine, tests)
     # ------------------------------------------------------------------
     def watermark(self) -> int:
         """The next sequence stamp; atoms added later stamp ≥ this value."""
@@ -158,7 +265,7 @@ class AtomIndex(StructureListener):
         hi: Optional[int] = None,
     ) -> Iterator[Atom]:
         """Atoms with *predicate* whose stamp is in ``[lo, hi)``."""
-        posting = self._by_predicate.get(predicate)
+        posting = self.posting(self._interner.predicate_id(predicate))
         if posting is None:
             return iter(())
         return posting.iter_range(lo, hi)
@@ -171,22 +278,32 @@ class AtomIndex(StructureListener):
         hi: Optional[int] = None,
     ) -> Iterator[Atom]:
         """Atoms with *predicate* carrying *value* at *position* (stamp < hi)."""
-        posting = self._by_position.get((predicate, position, value))
-        if posting is None:
+        pid = self._interner.predicate_id(predicate)
+        vid = self._interner.term_id(value)
+        if pid is None or vid is None:
             return iter(())
-        return posting.iter_range(None, hi)
+        slot = self._by_position.get((pid, position, vid))
+        if slot is None:
+            return iter(())
+        posting = self._by_predicate[pid]
+        stop = slot.cut(hi)
+        return (posting.atoms[slot.offsets[i]] for i in range(stop))
 
     def count(self, predicate: str, hi: Optional[int] = None) -> int:
         """Number of *predicate* atoms with stamp < *hi*."""
-        posting = self._by_predicate.get(predicate)
+        posting = self.posting(self._interner.predicate_id(predicate))
         return 0 if posting is None else posting.count_before(hi)
 
     def count_with_value(
         self, predicate: str, position: int, value: object, hi: Optional[int] = None
     ) -> int:
         """Number of atoms with *value* at *position* (stamp < *hi*)."""
-        posting = self._by_position.get((predicate, position, value))
-        return 0 if posting is None else posting.count_before(hi)
+        pid = self._interner.predicate_id(predicate)
+        vid = self._interner.term_id(value)
+        if pid is None or vid is None:
+            return 0
+        slot = self._by_position.get((pid, position, vid))
+        return 0 if slot is None else slot.count_before(hi)
 
     def candidates(
         self,

@@ -33,7 +33,7 @@ from ..chase.tgd import TGD
 from ..chase.trigger import Trigger, apply_trigger, frontier_key, trigger_sort_key
 from ..core.structure import Structure
 from ..core.terms import FreshNullFactory
-from .delta import delta_body_matches
+from .delta import compiled_delta_matches
 from .indexes import AtomIndex
 from .strategies import FiringStrategy, lazy_strategy
 
@@ -132,13 +132,21 @@ class SemiNaiveChaseEngine:
         """Run one stage; return ``True`` when at least one trigger fired."""
         strategy = self.strategy
         fired_any = False
+        # Batch discovery: every TGD's candidate matches are enumerated from
+        # the delta through the compiled runtime *before* any trigger fires.
+        # Body matches range over the stage-start posting-list prefix, and
+        # firings only append beyond it, so the discovered sets are identical
+        # to per-TGD interleaved discovery — but the whole stage now runs as
+        # one read-only pass over the delta windows (cached register
+        # programs, no per-trigger probing), which is also the shape a
+        # parallel stage executor needs (ROADMAP item c).
+        stage_candidates: List[List[tuple]] = []
         for tgd in self.tgds:
-            # Discover this stage's candidate matches from the delta, dedup
-            # by the strategy's key, and fire in the same canonical order as
-            # the reference engine.
             seen: set = set()
             candidates: List[tuple] = []
-            for assignment in delta_body_matches(tgd, index, delta_lo, stage_start):
+            for assignment in compiled_delta_matches(
+                tgd, index, delta_lo, stage_start
+            ):
                 frontier = frontier_key(tgd, assignment)
                 dedup = strategy.dedup_key(frontier, assignment)
                 if dedup in seen:
@@ -146,6 +154,10 @@ class SemiNaiveChaseEngine:
                 seen.add(dedup)
                 candidates.append((trigger_sort_key(frontier), frontier, dedup))
             candidates.sort(key=lambda item: (item[0], repr(item[2])))
+            stage_candidates.append(candidates)
+        # Firing phase: canonical order within each TGD, TGDs in rule order —
+        # the same discipline as the reference engine, bit for bit.
+        for tgd, candidates in zip(self.tgds, stage_candidates):
             for _, frontier, dedup in candidates:
                 if not strategy.should_fire(tgd, dedup, frontier, index):
                     continue

@@ -17,7 +17,7 @@ from __future__ import annotations
 from typing import Dict, Optional, Sequence
 
 from ..chase.chase import ChaseResult
-from ..core.homomorphism import is_homomorphism
+from ..query.evaluator import is_homomorphism
 from ..engine import EngineSpec, run_chase
 from ..core.query import ConjunctiveQuery
 from ..core.structure import Structure

@@ -16,48 +16,84 @@ semi-naive chase engine:
   certificate / containment check);
 * :mod:`~repro.query.plan` — greedy most-constrained-first join-order
   planning with statically precomputed bound positions;
-* :mod:`~repro.query.evaluator` — the executor plus a functional layer that
-  is a drop-in, differential-tested replacement for
-  :mod:`repro.core.homomorphism` (``tests/test_query_eval.py`` proves the
-  solution sets identical on random CQs, random structures and the spider
-  corpus; the reference search remains the authoritative oracle).
+* :mod:`~repro.query.interning` / :mod:`~repro.query.compile` — the
+  compiled runtime: terms and predicates interned to dense int IDs, query
+  bodies compiled once into register programs (cached per index, validated
+  against the structure's generation counter) and executed either by lazy
+  index-probe nested loops or by a build–probe hash join (``strategy=``,
+  auto-selected for cyclic bodies);
+* :mod:`~repro.query.evaluator` — the decode layer plus a functional API
+  that is a drop-in, differential-tested replacement for
+  :mod:`repro.core.homomorphism` — including ``find_isomorphism`` /
+  ``are_isomorphic`` / ``is_homomorphism`` (``tests/test_query_eval.py``
+  proves the solution sets identical on random CQs — cyclic ones included —
+  random structures and the spider corpus, under both executors; the
+  reference search remains the authoritative oracle).
 
 Layering: this package sits between :mod:`repro.core` and everything else.
 It imports only ``repro.core`` and ``repro.engine.indexes``; the chase layer
 calls into it through function-level imports, so no import cycles arise.
 """
 
+from .compile import (
+    CompiledQuery,
+    PlanCache,
+    compile_query,
+    compiled_for,
+    execute,
+    execute_hash,
+    execute_nested,
+    is_cyclic,
+    plan_cache_for,
+)
 from .context import EvalContext, get_context, shared_context
 from .evaluator import (
     all_homomorphisms,
+    are_isomorphic,
     evaluate,
     exists_homomorphism,
     exists_match,
     extend_match,
     find_homomorphism,
+    find_isomorphism,
+    is_homomorphism,
     iter_homomorphisms,
     iter_matches,
     iter_plan_matches,
     query_holds,
     query_homomorphisms,
 )
+from .interning import Interner
 from .plan import PlanStep, QueryPlan, plan_atoms
 
 __all__ = [
+    "CompiledQuery",
     "EvalContext",
+    "Interner",
+    "PlanCache",
     "PlanStep",
     "QueryPlan",
     "all_homomorphisms",
+    "are_isomorphic",
+    "compile_query",
+    "compiled_for",
     "evaluate",
+    "execute",
+    "execute_hash",
+    "execute_nested",
     "exists_homomorphism",
     "exists_match",
     "extend_match",
     "find_homomorphism",
+    "find_isomorphism",
     "get_context",
+    "is_cyclic",
+    "is_homomorphism",
     "iter_homomorphisms",
     "iter_matches",
     "iter_plan_matches",
     "plan_atoms",
+    "plan_cache_for",
     "query_holds",
     "query_homomorphisms",
     "shared_context",

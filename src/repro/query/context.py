@@ -55,6 +55,12 @@ class EvalContext:
         self.indexes_reused = 0
         #: Number of indexes donated by a chase engine via :meth:`adopt`.
         self.indexes_adopted = 0
+        #: Number of query shapes compiled from scratch through this context
+        #: (see :mod:`repro.query.compile`; the caches themselves live on the
+        #: per-structure indexes and die with them).
+        self.plans_compiled = 0
+        #: Number of evaluations served by a cached compiled plan.
+        self.plans_reused = 0
 
     # ------------------------------------------------------------------
     def index_for(self, structure: Structure) -> "AtomIndex":

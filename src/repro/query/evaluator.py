@@ -38,8 +38,9 @@ from typing import (
 from ..core.atoms import Atom
 from ..core.structure import Structure
 from ..core.terms import is_rigid
+from .compile import compiled_for, execute
 from .context import EvalContext, get_context
-from .plan import PlanStep, QueryPlan, plan_atoms
+from .plan import PlanStep, QueryPlan
 
 if TYPE_CHECKING:  # type-only: keeps repro.query importable before repro.engine
     from ..engine.indexes import AtomIndex
@@ -119,11 +120,65 @@ def iter_plan_matches(
 ) -> Iterator[Assignment]:
     """All extensions of *assignment* matching every planned atom.
 
-    ``hi`` bounds the candidate stamps (``None`` = the full index); the
-    yielded dictionaries are shared with the search — callers that store
-    them must copy (the public APIs below do).
+    This is the PR-2 *interpreted* executor, kept as the uncompiled baseline
+    (the plan-cache benchmarks measure the compiled runtime against it) and
+    as a second differential witness next to the reference search.  ``hi``
+    bounds the candidate stamps (``None`` = the full index); the yielded
+    dictionaries are shared with the search — callers that store them must
+    copy (the public APIs below do).
     """
     return _execute(plan.steps, 0, index, dict(assignment or {}), hi)
+
+
+# ----------------------------------------------------------------------
+# Compiled execution + decode
+# ----------------------------------------------------------------------
+def _compiled_solutions(
+    atoms: Sequence[Atom],
+    index: AtomIndex,
+    assignment: Assignment,
+    hi: Optional[int],
+    context: Optional[EvalContext] = None,
+    strategy: str = "auto",
+    first_only: bool = False,
+) -> Iterator[Assignment]:
+    """Decoded compiled matches of *atoms* extending *assignment*.
+
+    The compiled form is cached on the index keyed by the query shape —
+    the atom tuple plus *which* terms arrive pre-bound (their images are
+    injected into the register file per call, so the same plan serves every
+    ``fix`` value).  Yields fresh dictionaries.
+    """
+    # The shape key uses every pre-bound term; compilation itself only lays
+    # out slots for the ones occurring in the atoms, so terms that merely
+    # pass through the assignment cost one extra cache key at worst.
+    bound_shape = frozenset(assignment)
+    compiled = compiled_for(
+        index, atoms if isinstance(atoms, tuple) else tuple(atoms), bound_shape,
+        context=context,
+    )
+    interner = index.interner
+    registers = compiled.fresh_registers()
+    for term, slot in compiled.prebound:
+        tid = interner.term_id(assignment[term])
+        if tid is None:
+            # The pre-bound image occurs in no indexed fact, so no atom can
+            # ever match at that position within this snapshot.
+            return
+        registers[slot] = tid
+    outputs = compiled.outputs
+    for registers_out in execute(
+        compiled,
+        index,
+        registers,
+        hi=hi,
+        strategy=strategy,
+        first_only=first_only,
+    ):
+        solution = dict(assignment)
+        for term, slot in outputs:
+            solution[term] = interner.term(registers_out[slot])
+        yield solution
 
 
 # ----------------------------------------------------------------------
@@ -134,13 +189,18 @@ def iter_matches(
     index: AtomIndex,
     assignment: Optional[Assignment] = None,
     hi: Optional[int] = None,
+    strategy: str = "auto",
+    first_only: bool = False,
 ) -> Iterator[Assignment]:
-    """Planned matches of *atoms* against *index*, extending *assignment*."""
-    start: Assignment = dict(assignment or {})
-    # Rigid constants need no pre-binding here: the planner marks their
-    # positions bound and the executor anchors them to themselves.
-    plan = plan_atoms(atoms, index, bound=set(start))
-    return _execute(plan.steps, 0, index, start, hi)
+    """Compiled matches of *atoms* against *index*, extending *assignment*."""
+    return _compiled_solutions(
+        list(atoms),
+        index,
+        dict(assignment or {}),
+        hi,
+        strategy=strategy,
+        first_only=first_only,
+    )
 
 
 def exists_match(
@@ -149,39 +209,74 @@ def exists_match(
     assignment: Optional[Assignment] = None,
     hi: Optional[int] = None,
 ) -> bool:
-    """Does at least one planned match of *atoms* exist in *index*?"""
-    return next(iter_matches(atoms, index, assignment, hi), None) is not None
+    """Does at least one compiled match of *atoms* exist in *index*?"""
+    return (
+        next(iter_matches(atoms, index, assignment, hi, first_only=True), None)
+        is not None
+    )
 
 
 # ----------------------------------------------------------------------
 # Structure-level API (the drop-in replacement for core.homomorphism)
 # ----------------------------------------------------------------------
+#: Memoised static shape info per source-atom tuple: the distinct rigid
+#: arguments (in occurrence order) and the set of all occurring terms.
+#: Query bodies are built once and reused (TGD heads, spider bodies), so
+#: this scan — O(atoms × args) isinstance checks per evaluation — is pure
+#: repeated work; bounded to keep pathological one-shot callers in check.
+_SHAPE_MEMO: Dict[Tuple[Atom, ...], Tuple[Tuple[object, ...], frozenset]] = {}
+_SHAPE_MEMO_LIMIT = 4096
+
+
+def _static_shape(
+    atoms_key: Tuple[Atom, ...]
+) -> Tuple[Tuple[object, ...], frozenset]:
+    shape = _SHAPE_MEMO.get(atoms_key)
+    if shape is None:
+        occurring = set()
+        rigid: list = []
+        for atom in atoms_key:
+            occurring.update(atom.args)
+            for arg in atom.args:
+                if is_rigid(arg) and arg not in rigid:
+                    rigid.append(arg)
+        if len(_SHAPE_MEMO) >= _SHAPE_MEMO_LIMIT:
+            _SHAPE_MEMO.clear()
+        shape = _SHAPE_MEMO[atoms_key] = (tuple(rigid), frozenset(occurring))
+    return shape
+
+
 def _initial_assignment(
     source_atoms: Sequence[Atom],
     target: Structure,
     fix: Optional[Mapping[object, object]],
     frozen: Iterable[object],
+    atoms_key: Optional[Tuple[Atom, ...]] = None,
 ) -> Optional[Assignment]:
     """The pre-bound part of the search, or ``None`` when unsatisfiable.
 
     Mirrors ``HomomorphismProblem._initial_assignment`` exactly: ``fix``
-    entries are taken as-is, rigid constants and frozen elements must map to
-    themselves, and any pre-bound element that occurs in a source atom must
-    have its image in the target domain.
+    entries are taken as-is, rigid constants and frozen elements occurring
+    in the source atoms must map to themselves, and any pre-bound element
+    that occurs in a source atom must have its image in the target domain.
     """
+    if atoms_key is None:
+        atoms_key = tuple(source_atoms)
+    rigid_terms, occurring = _static_shape(atoms_key)
     assignment: Assignment = dict(fix or {})
-    frozen_set = set(frozen)
-    for atom in source_atoms:
-        for arg in atom.args:
-            if is_rigid(arg) or arg in frozen_set:
-                if arg in assignment and assignment[arg] != arg:
-                    return None
-                assignment[arg] = arg
-    if source_atoms:
+    for arg in rigid_terms:
+        if arg in assignment and assignment[arg] != arg:
+            return None
+        assignment[arg] = arg
+    for element in frozen:
+        if element in occurring:
+            if element in assignment and assignment[element] != element:
+                return None
+            assignment[element] = element
+    if atoms_key:
         for element, image in assignment.items():
-            if not target.has_element(image):
-                if any(element in atom.args for atom in source_atoms):
-                    return None
+            if element in occurring and not target.has_element(image):
+                return None
     return assignment
 
 
@@ -196,8 +291,9 @@ def iter_homomorphisms(
     frozen: Iterable[object] = (),
     limit: Optional[int] = None,
     context: Optional[EvalContext] = None,
+    strategy: str = "auto",
 ) -> Iterator[Assignment]:
-    """Yield homomorphisms ``source → target`` through the planned evaluator.
+    """Yield homomorphisms ``source → target`` through the compiled runtime.
 
     Same contract as ``HomomorphismProblem(...).solutions(limit)``: the
     yielded dictionaries bind every ``fix`` key, every rigid/frozen element
@@ -205,17 +301,29 @@ def iter_homomorphisms(
     watermark is captured before the first solution is produced, so atoms
     added to *target* while the generator is being consumed are not seen
     (the reference search snapshots its candidates the same way).
+
+    ``strategy`` selects the join executor: ``"auto"`` (hash join where the
+    planner predicts left-deep probing degrades, nested otherwise),
+    ``"nested"``, or ``"hash"``.
     """
-    atoms = _source_atoms(source)
-    assignment = _initial_assignment(atoms, target, fix, frozen)
+    atoms = tuple(_source_atoms(source))
+    assignment = _initial_assignment(atoms, target, fix, frozen, atoms_key=atoms)
     if assignment is None:
         return
-    index = get_context(context).index_for(target)
+    resolved = get_context(context)
+    index = resolved.index_for(target)
     hi = index.watermark()
-    plan = plan_atoms(atoms, index, bound=set(assignment))
     produced = 0
-    for solution in _execute(plan.steps, 0, index, dict(assignment), hi):
-        yield dict(solution)
+    for solution in _compiled_solutions(
+        atoms,
+        index,
+        assignment,
+        hi,
+        context=resolved,
+        strategy=strategy,
+        first_only=limit == 1,
+    ):
+        yield solution
         produced += 1
         if limit is not None and produced >= limit:
             return
@@ -227,9 +335,12 @@ def all_homomorphisms(
     fix: Optional[Mapping[object, object]] = None,
     limit: Optional[int] = None,
     context: Optional[EvalContext] = None,
+    strategy: str = "auto",
 ) -> Iterator[Assignment]:
     """Index-backed drop-in for :func:`repro.core.homomorphism.all_homomorphisms`."""
-    return iter_homomorphisms(source, target, fix=fix, limit=limit, context=context)
+    return iter_homomorphisms(
+        source, target, fix=fix, limit=limit, context=context, strategy=strategy
+    )
 
 
 def find_homomorphism(
@@ -321,3 +432,72 @@ def query_holds(
         )
         is not None
     )
+
+
+# ----------------------------------------------------------------------
+# Isomorphisms and homomorphism checking (ROADMAP item h)
+# ----------------------------------------------------------------------
+def is_homomorphism(
+    assignment: Mapping[object, object], source: Structure, target: Structure
+) -> bool:
+    """Drop-in for :func:`repro.core.homomorphism.is_homomorphism`.
+
+    Identical verdicts to the reference (the differential suite holds them
+    against each other); the difference is per-atom cost — ground membership
+    is checked in O(1) through the structure's live atom set instead of
+    re-materialising ``target.atoms()`` into a fresh frozenset per atom.
+    """
+    for element in source.domain():
+        if element not in assignment:
+            return False
+        if is_rigid(element) and assignment[element] != element:
+            return False
+    for atom in source.atoms():
+        if not target.satisfies_atom(atom.substitute(assignment)):
+            return False
+    return True
+
+
+def find_isomorphism(
+    first: Structure, second: Structure, context: Optional[EvalContext] = None
+) -> Optional[Assignment]:
+    """Drop-in for :func:`repro.core.homomorphism.find_isomorphism`.
+
+    Same candidate filtering as the reference (bijective homomorphism whose
+    image reproduces the atom set exactly), but the candidate homomorphisms
+    are enumerated by the compiled runtime against the cached index of
+    *second* — with O(1) pre-checks on the atom/domain/per-predicate counts
+    short-circuiting the obvious non-isomorphic pairs.
+    """
+    from ..core.homomorphism import _complete_isolated, is_embedding
+
+    if len(first) != len(second):
+        return None
+    if len(first.domain()) != len(second.domain()):
+        return None
+    predicates = first.predicates() | second.predicates()
+    for predicate in predicates:
+        if first.count_atoms_with_predicate(
+            predicate
+        ) != second.count_atoms_with_predicate(predicate):
+            return None
+    for assignment in iter_homomorphisms(
+        list(first.atoms()), second, context=context
+    ):
+        full = dict(assignment)
+        _complete_isolated(first, second, full)
+        if not is_embedding(full):
+            continue
+        if len(set(full.values())) != len(second.domain()):
+            continue
+        image = first.rename_elements(full)
+        if image.atoms() == second.atoms():
+            return full
+    return None
+
+
+def are_isomorphic(
+    first: Structure, second: Structure, context: Optional[EvalContext] = None
+) -> bool:
+    """Drop-in for :func:`repro.core.homomorphism.are_isomorphic`."""
+    return find_isomorphism(first, second, context=context) is not None

@@ -154,6 +154,8 @@ def spider_query_matches(
     structure: Structure,
     prefix: str = "s",
     limit: Optional[int] = None,
+    context=None,
+    strategy: str = "auto",
 ) -> Iterator[Dict[object, object]]:
     """Matches of the body of ``f^I_J`` in *structure*, planned and indexed.
 
@@ -166,7 +168,9 @@ def spider_query_matches(
     index.
     """
     body = unary_query_body(universe, spec, prefix=prefix)
-    return iter_homomorphisms(list(body.atoms), structure, limit=limit)
+    return iter_homomorphisms(
+        list(body.atoms), structure, limit=limit, context=context, strategy=strategy
+    )
 
 
 def spider_query_holds(

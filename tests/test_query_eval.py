@@ -230,3 +230,244 @@ def test_evaluator_sees_snapshot_even_while_target_grows():
     target.add_atom(Atom("R", ("b", "c")))
     rest = list(solutions)
     assert [first] + rest == [{x: "a", y: "b"}]
+
+
+# ----------------------------------------------------------------------
+# Compiled runtime: cyclic bodies, both executors vs the oracle
+# ----------------------------------------------------------------------
+@st.composite
+def cyclic_query_bodies(draw):
+    """Bodies containing a variable cycle (plus optional extra atoms)."""
+    cycle_length = draw(st.integers(min_value=3, max_value=4))
+    cycle_vars = [Variable(n) for n in ("x", "y", "z", "w")][:cycle_length]
+    atoms = [
+        Atom(draw(st.sampled_from(["R", "S"])),
+             (cycle_vars[i], cycle_vars[(i + 1) % cycle_length]))
+        for i in range(cycle_length)
+    ]
+    for _ in range(draw(st.integers(min_value=0, max_value=2))):
+        predicate = draw(_predicates)
+        arity = 1 if predicate == "T" else 2
+        atoms.append(Atom(predicate, tuple(draw(_terms) for _ in range(arity))))
+    return atoms
+
+
+@given(cyclic_query_bodies(), structures())
+@settings(max_examples=80, deadline=None)
+def test_both_executors_match_reference_on_cyclic_cqs(atoms, target):
+    # The generated cycle makes the whole body Berge-cyclic; extra atoms
+    # only ever add tree edges (or isolated components) to the incidence
+    # graph, so the classifier must flag every generated body.
+    assert q.is_cyclic(atoms)
+    reference = canonical(HomomorphismProblem(atoms, target).solutions())
+    nested = canonical(q.all_homomorphisms(atoms, target, strategy="nested"))
+    hashed = canonical(q.all_homomorphisms(atoms, target, strategy="hash"))
+    assert nested == reference
+    assert hashed == reference
+
+
+@given(query_bodies(), structures(), st.dictionaries(_variables, _elements, max_size=2))
+@settings(max_examples=60, deadline=None)
+def test_hash_join_matches_reference_with_fix(atoms, target, fix):
+    reference = canonical(HomomorphismProblem(atoms, target, fix=fix).solutions())
+    hashed = canonical(q.all_homomorphisms(atoms, target, fix=fix, strategy="hash"))
+    assert hashed == reference
+
+
+def test_auto_strategy_picks_hash_join_for_triangles():
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    triangle = (Atom("R", (x, y)), Atom("R", (y, z)), Atom("R", (z, x)))
+    chain = (Atom("R", (x, y)), Atom("R", (y, z)), Atom("S", (z, x)))
+    assert q.is_cyclic(triangle)
+    assert q.is_cyclic(chain)  # S closes the same variable cycle
+    assert not q.is_cyclic((Atom("R", (x, y)), Atom("R", (y, z)), Atom("T", (z,))))
+    target = Structure([Atom("R", (str(i), str((i + 1) % 5))) for i in range(5)])
+    context = q.EvalContext()
+    index = context.index_for(target)
+    compiled = q.compiled_for(index, triangle, frozenset(), context=context)
+    assert compiled.hash_recommended
+
+
+# ----------------------------------------------------------------------
+# Interning: round-trip, dense IDs, stability across rebuilds
+# ----------------------------------------------------------------------
+@given(structures())
+@settings(max_examples=60, deadline=None)
+def test_interning_round_trip_and_dense_ids(target):
+    context = q.EvalContext()
+    index = context.index_for(target)
+    interner = index.interner
+    for atom in target.atoms():
+        pid, row = interner.encode_atom(atom)
+        assert interner.decode_atom(pid, row) == atom
+        assert pid < interner.predicate_count()
+        assert all(0 <= tid < interner.term_count() for tid in row)
+        # The posting rows carry the same encoding the interner produces.
+        posting = index.posting(pid)
+        offset = posting.atoms.index(atom)
+        assert posting.rows[offset] == row
+    # IDs are dense: exactly one per distinct term/predicate ever interned.
+    assert len({interner.term(i) for i in range(interner.term_count())}) == (
+        interner.term_count()
+    )
+
+
+def test_executor_state_does_not_survive_watermark_preserving_rebuild():
+    # Removing the only atom rebuilds the index with zero re-inserts, so the
+    # watermark comes back unchanged; the cached executor preamble must be
+    # keyed on the full (rebuilds, watermark) generation or it would replay
+    # row references into the discarded posting lists.
+    target = Structure([Atom("R", ("a", "b"))])
+    context = q.EvalContext()
+    index = context.index_for(target)
+    x, y = Variable("x"), Variable("y")
+    compiled = q.compiled_for(index, (Atom("R", (x, y)),), frozenset())
+    registers = compiled.fresh_registers()
+    assert len(list(q.execute_nested(compiled, index, registers, hi=index.watermark()))) == 1
+    watermark = index.watermark()
+    target.remove_atom(Atom("R", ("a", "b")))
+    assert index.watermark() == watermark  # the trap: same hi, rebuilt tables
+    assert list(q.execute_nested(compiled, index, registers, hi=index.watermark())) == []
+    target.add_atom(Atom("R", ("c", "d")))
+    assert [
+        {x: "c", y: "d"}
+    ] == list(q.all_homomorphisms([Atom("R", (x, y))], target, context=context))
+
+
+def test_interned_ids_survive_index_rebuild():
+    target = Structure([Atom("R", ("a", "b")), Atom("R", ("b", "c"))])
+    context = q.EvalContext()
+    index = context.index_for(target)
+    before = {e: index.interner.term_id(e) for e in ("a", "b", "c")}
+    target.remove_atom(Atom("R", ("b", "c")))  # triggers a full rebuild
+    assert index.rebuilds == 1
+    for element, tid in before.items():
+        assert index.interner.term_id(element) == tid
+
+
+# ----------------------------------------------------------------------
+# Plan cache: exact hits, generation-bump revalidation, growth, rebuilds
+# ----------------------------------------------------------------------
+def test_plan_cache_reuse_and_invalidation():
+    context = q.EvalContext()
+    target = Structure([Atom("R", (str(i), str(i + 1))) for i in range(20)])
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    atoms = [Atom("R", (x, y)), Atom("R", (y, z))]
+    assert list(q.all_homomorphisms(atoms, target, context=context))
+    assert context.plans_compiled == 1
+    index = context.peek(target)
+    cache = q.plan_cache_for(index)
+    # Unchanged generation: exact cache hit, no replanning.
+    hits_before = cache.hits
+    list(q.all_homomorphisms(atoms, target, context=context))
+    assert context.plans_compiled == 1
+    assert context.plans_reused >= 1
+    assert cache.hits > hits_before
+    # A mutation bumps the structure generation; bounded growth keeps the
+    # plan (revalidated as a stale hit), it does not recompile.
+    generation = target.generation
+    target.add_atom(Atom("R", ("20", "21")))
+    assert target.generation > generation
+    list(q.all_homomorphisms(atoms, target, context=context))
+    assert context.plans_compiled == 1
+    assert cache.stale_hits >= 1
+    # Growth past the staleness bound forces a replan against fresh stats.
+    target.add_atoms(Atom("R", (f"g{i}", f"g{i + 1}")) for i in range(40))
+    list(q.all_homomorphisms(atoms, target, context=context))
+    assert context.plans_compiled == 2
+    # An atom removal rebuilds the index and drops the whole cache.
+    target.remove_atom(Atom("R", ("20", "21")))
+    list(q.all_homomorphisms(atoms, target, context=context))
+    assert context.plans_compiled == 3
+    assert cache.invalidations >= 1
+
+
+def test_plan_cache_is_keyed_by_bound_shape_not_values():
+    context = q.EvalContext()
+    target = Structure([Atom("R", (str(i), str(i + 1))) for i in range(6)])
+    x, y = Variable("x"), Variable("y")
+    atoms = [Atom("R", (x, y))]
+    first = list(q.all_homomorphisms(atoms, target, fix={x: "0"}, context=context))
+    second = list(q.all_homomorphisms(atoms, target, fix={x: "3"}, context=context))
+    assert context.plans_compiled == 1  # same shape, different fix values
+    assert first == [{x: "0", y: "1"}]
+    assert second == [{x: "3", y: "4"}]
+
+
+# ----------------------------------------------------------------------
+# Batch delta discovery: compiled ≡ interpreted
+# ----------------------------------------------------------------------
+def test_compiled_delta_matches_interpreted_delta():
+    from repro.engine.delta import compiled_delta_matches, delta_body_matches
+    from repro.engine.indexes import AtomIndex
+
+    tgds = parse_tgds(
+        "R(x,y), R(y,z) -> S(x,z)",
+        "S(x,y), R(y,z), T(y) -> S(x,z)",
+        "R(x,x) -> T(x)",
+    )
+    structure = Structure(
+        [Atom("R", (str(i), str(i + 1))) for i in range(6)] + [Atom("R", ("3", "3"))]
+    )
+    index = AtomIndex(structure)
+    delta_lo = index.watermark()
+    structure.add_atoms(
+        [Atom("S", (str(i), str(i + 2))) for i in range(4)] + [Atom("T", ("3",))]
+    )
+    stage_start = index.watermark()
+    for tgd in tgds:
+        interpreted = canonical(
+            delta_body_matches(tgd, index, delta_lo, stage_start)
+        )
+        compiled = canonical(
+            compiled_delta_matches(tgd, index, delta_lo, stage_start)
+        )
+        assert compiled == interpreted, tgd.name
+        # The full-prefix (naive) degeneration agrees too.
+        assert canonical(
+            compiled_delta_matches(tgd, index, 0, stage_start)
+        ) == canonical(delta_body_matches(tgd, index, 0, stage_start)), tgd.name
+
+
+# ----------------------------------------------------------------------
+# Isomorphism / homomorphism checking: planned path vs reference oracle
+# ----------------------------------------------------------------------
+@given(structures(), structures())
+@settings(max_examples=60, deadline=None)
+def test_is_homomorphism_matches_reference(first, second):
+    from repro.core.homomorphism import is_homomorphism as reference_check
+
+    domain = sorted(second.domain(), key=repr) or ["d"]
+    candidates = []
+    for offset in range(3):
+        candidates.append(
+            {
+                element: domain[(i + offset) % len(domain)]
+                for i, element in enumerate(sorted(first.domain(), key=repr))
+            }
+        )
+    for mapping in candidates:
+        assert q.is_homomorphism(mapping, first, second) == reference_check(
+            mapping, first, second
+        )
+
+
+@given(structures())
+@settings(max_examples=40, deadline=None)
+def test_find_isomorphism_matches_reference_on_renamings(target):
+    from repro.core.homomorphism import find_isomorphism as reference_find
+
+    renamed = target.rename_elements(
+        {e: ("iso", e) for e in target.domain() if not isinstance(e, Constant)}
+    )
+    planned = q.find_isomorphism(target, renamed)
+    reference = reference_find(target, renamed)
+    assert (planned is None) == (reference is None)
+    if planned is not None:
+        assert target.rename_elements(planned).atoms() == renamed.atoms()
+    # A genuinely different structure is rejected by both.
+    perturbed = renamed.copy()
+    perturbed.add_atom(Atom("Extra", (("iso", "fresh"),)))
+    assert q.find_isomorphism(target, perturbed) is None
+    assert reference_find(target, perturbed) is None
+    assert q.are_isomorphic(target, renamed) == (reference is not None)
