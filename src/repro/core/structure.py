@@ -75,6 +75,7 @@ class Structure:
         self._domain: Set[object] = set()
         self._listeners: List["StructureListener"] = []
         self._generation = 0
+        self._canonical_cache: Optional[Tuple[int, Tuple[Atom, ...]]] = None
         if signature is not None:
             for constant in signature.constants:
                 self._domain.add(constant)
@@ -272,6 +273,23 @@ class Structure:
     def freeze(self) -> FrozenSet[Atom]:
         """A hashable snapshot of the atom set."""
         return frozenset(self._atoms)
+
+    def canonical_atoms(self) -> Tuple[Atom, ...]:
+        """The atoms in canonical (``repr``) order, cached per generation.
+
+        This is the snapshot-export primitive shared by index bulk-loading,
+        the parallel-discovery wire format and the differential harnesses:
+        the ordering is independent of set iteration order (and therefore of
+        ``PYTHONHASHSEED``), and the cache is keyed on the :attr:`generation`
+        counter so repeated exports of an unchanged structure cost one
+        integer comparison instead of a sort.
+        """
+        cached = self._canonical_cache
+        if cached is not None and cached[0] == self._generation:
+            return cached[1]
+        atoms = tuple(sorted(self._atoms, key=repr))
+        self._canonical_cache = (self._generation, atoms)
+        return atoms
 
     def restrict_predicates(
         self, keep: Callable[[str], bool] | Iterable[str], name: str = ""

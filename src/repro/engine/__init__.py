@@ -12,7 +12,11 @@ Section VIII.E counter-model, the Theorem 1 reduction pipeline.  It contains
 * :mod:`~repro.engine.seminaive` — :class:`SemiNaiveChaseEngine`, a drop-in
   replacement for the reference engine with identical output;
 * :mod:`~repro.engine.strategies` — pluggable lazy / oblivious /
-  semi-oblivious firing policies with atom/stage budgets.
+  semi-oblivious firing policies with atom/stage budgets;
+* :mod:`~repro.engine.parallel` — an opt-in (``workers=N``)
+  ``multiprocessing`` pool that fans each stage's batch trigger discovery
+  out over replica indexes synced through interned wire slices, merging
+  candidates back into canonical order — output stays bit-identical.
 
 Heavy consumers select an engine through the shared ``engine=`` parameter
 (accepted by :func:`run_chase`, ``GreenGraphRuleSet.chase``,
@@ -36,7 +40,8 @@ from .delta import (
     delta_frontier_keys,
     head_satisfied_indexed,
 )
-from .indexes import AtomIndex
+from .indexes import AtomIndex, WireCursor, WireSlice
+from .parallel import ParallelDiscovery, WorkerError
 from .seminaive import SemiNaiveChaseEngine
 from .strategies import (
     FiringStrategy,
@@ -64,6 +69,7 @@ def make_engine(
     max_atoms: Optional[int] = None,
     keep_snapshots: bool = True,
     strategy=None,
+    workers: Optional[int] = None,
 ):
     """Resolve the shared ``engine=`` parameter into a ready-to-run engine.
 
@@ -74,17 +80,35 @@ def make_engine(
     workload: the ``tgds`` and ``keep_snapshots`` come from the caller, and
     the stage/atom budgets are *intersected* (the tighter bound wins), so
     neither the wrapper's safety budgets nor the instance's own are ever
-    silently discarded.
+    silently discarded.  ``workers=N`` (N ≥ 2) opts the semi-naive engine
+    into parallel batch discovery (:mod:`repro.engine.parallel`); ``None``
+    keeps the instance's own setting, and the reference engine rejects it.
     """
     if engine is None:
         engine = DEFAULT_ENGINE
     if isinstance(engine, (ChaseEngine, SemiNaiveChaseEngine)):
-        if strategy is not None:
-            if not isinstance(engine, SemiNaiveChaseEngine):
+        if not isinstance(engine, SemiNaiveChaseEngine):
+            if strategy is not None:
                 raise ValueError(
                     "firing strategies are a semi-naive engine feature; "
                     "the reference engine is always lazy"
                 )
+            if workers and workers >= 2:
+                # workers=0/1 means "serial" on the semi-naive engine, so a
+                # config-driven caller may pass it here too; only an actual
+                # parallelism request is an error on the reference engine.
+                raise ValueError(
+                    "parallel discovery is a semi-naive engine feature; "
+                    "the reference engine is strictly serial"
+                )
+            return replace(
+                engine,
+                tgds=list(tgds),
+                max_stages=min_bound(max_stages, engine.max_stages),
+                max_atoms=min_bound(max_atoms, engine.max_atoms),
+                keep_snapshots=keep_snapshots,
+            )
+        if strategy is not None:
             engine = replace(engine, strategy=resolve_strategy(strategy))
         return replace(
             engine,
@@ -92,6 +116,7 @@ def make_engine(
             max_stages=min_bound(max_stages, engine.max_stages),
             max_atoms=min_bound(max_atoms, engine.max_atoms),
             keep_snapshots=keep_snapshots,
+            workers=engine.workers if workers is None else workers,
         )
     if isinstance(engine, str):
         name = engine.lower()
@@ -102,12 +127,21 @@ def make_engine(
                 max_atoms=max_atoms,
                 keep_snapshots=keep_snapshots,
                 strategy=resolve_strategy(strategy),
+                workers=workers or 0,
             )
         if name in _REFERENCE_NAMES:
             if strategy is not None:
                 raise ValueError(
                     "firing strategies are a semi-naive engine feature; "
                     "the reference engine is always lazy"
+                )
+            if workers and workers >= 2:
+                # workers=0/1 means "serial" on the semi-naive engine, so a
+                # config-driven caller may pass it here too; only an actual
+                # parallelism request is an error on the reference engine.
+                raise ValueError(
+                    "parallel discovery is a semi-naive engine feature; "
+                    "the reference engine is strictly serial"
                 )
             return ChaseEngine(
                 tgds=list(tgds),
@@ -130,11 +164,14 @@ def run_chase(
     keep_snapshots: bool = True,
     engine: EngineSpec = None,
     strategy=None,
+    workers: Optional[int] = None,
 ) -> ChaseResult:
     """Run the (bounded) chase of *instance* under *tgds* on a chosen engine.
 
     This is the engine-aware sibling of :func:`repro.chase.chase`; with
-    ``engine="reference"`` the two are the same computation.
+    ``engine="reference"`` the two are the same computation.  ``workers=N``
+    (N ≥ 2) runs each stage's trigger discovery on a process pool — output
+    is bit-identical to the serial run.
     """
     resolved = make_engine(
         engine,
@@ -143,6 +180,7 @@ def run_chase(
         max_atoms=max_atoms,
         keep_snapshots=keep_snapshots,
         strategy=strategy,
+        workers=workers,
     )
     return resolved.run(instance)
 
@@ -152,7 +190,11 @@ __all__ = [
     "DEFAULT_ENGINE",
     "EngineSpec",
     "FiringStrategy",
+    "ParallelDiscovery",
     "SemiNaiveChaseEngine",
+    "WireCursor",
+    "WireSlice",
+    "WorkerError",
     "compiled_delta_matches",
     "delta_body_matches",
     "delta_frontier_keys",

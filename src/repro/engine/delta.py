@@ -145,46 +145,102 @@ def delta_body_matches(
             yield from _iter_bounded_matches(rest, index, seeded)
 
 
-def compiled_delta_matches(
+def assignment_layout(tgd: TGD) -> Tuple[object, ...]:
+    """The canonical order of a TGD's non-rigid body terms.
+
+    This is both the decode order of :func:`compiled_delta_matches` and the
+    wire order of the parallel pool (workers encode each discovered
+    assignment as the tuple of interned value IDs in this order; the engine
+    decodes with the same layout).  Sorted by ``repr`` so every process
+    derives it independently of hash seeds.
+    """
+    terms = {arg for atom in tgd.body for arg in atom.args if not is_rigid(arg)}
+    return tuple(sorted(terms, key=repr))
+
+
+def iter_encoded_matches(
     tgd: TGD,
+    layout: Tuple[object, ...],
     index: AtomIndex,
     delta_lo: int,
     stage_start: int,
-) -> Iterator[Assignment]:
-    """:func:`delta_body_matches` through the compiled query runtime.
+    seed_lo: Optional[int] = None,
+    seed_hi: Optional[int] = None,
+) -> Iterator[Tuple[int, ...]]:
+    """Delta body matches as interned-ID rows in *layout* order.
 
-    Produces the same assignment set (the differential tests in
-    ``tests/test_engine_seminaive.py`` / ``tests/test_query_eval.py`` hold
-    the two against each other), but each ``(body, seed position)`` pair is
-    compiled **once per chase** — the register program and its slot layout
-    are cached on the index — and matching walks interned int rows instead
-    of term-object tuples.  Seed positions whose predicate gained no atoms
-    in the delta window are skipped before any plan is even looked up,
-    which is what makes whole-stage batch discovery one cheap pass when
-    most TGDs are untouched by a stage's delta.
+    The single copy of the delta enumeration both discovery paths share:
+    each ``(body, seed position)`` pair is compiled **once per chase** (the
+    register program and its slot layout are cached on the index) and
+    matching walks interned int rows instead of term-object tuples.  Seed
+    positions whose predicate gained no atoms in the delta window are
+    skipped before any plan is even looked up, which is what makes
+    whole-stage batch discovery one cheap pass when most TGDs are untouched
+    by a stage's delta.  Solutions stay in register form — the serial
+    caller decodes them (:func:`compiled_delta_matches`), the parallel
+    workers ship them as-is (one small int tuple per candidate on the
+    wire).
+
+    ``seed_lo`` / ``seed_hi`` restrict the *seed* atom to a stamp sub-range
+    of ``[delta_lo, stage_start)`` while leaving the completion windows
+    alone.  A match is seeded exactly at its first body position carrying a
+    delta atom, so partitioning the delta into disjoint seed windows
+    partitions the match set — the property the parallel pool's
+    delta-window splitting relies on (each worker produces the serial
+    matches whose seed stamp falls in its sub-window, no overlaps, no
+    gaps).
     """
     body = tuple(tgd.body)
     if not body:
         return
+    window_lo = delta_lo if seed_lo is None else seed_lo
+    window_hi = stage_start if seed_hi is None else seed_hi
     interner = index.interner
     for seed in range(len(body)):
         pid = interner.predicate_id(body[seed].predicate)
         posting = index.posting(pid)
         if posting is None:
             continue
-        start, stop = posting.bounds(delta_lo, stage_start)
+        start, stop = posting.bounds(window_lo, window_hi)
         if start >= stop:
             continue  # no delta atoms can seed at this position
         compiled = compiled_for(index, body, frozenset(), seed=seed)
-        outputs = compiled.outputs
+        slot_of = dict(compiled.outputs)
+        order = tuple(slot_of[term] for term in layout)
         for registers in execute_nested(
             compiled,
             index,
             compiled.fresh_registers(),
             delta_lo=delta_lo,
             stage_start=stage_start,
+            seed_lo=seed_lo,
+            seed_hi=seed_hi,
         ):
-            yield {term: interner.term(registers[slot]) for term, slot in outputs}
+            yield tuple(registers[slot] for slot in order)
+
+
+def compiled_delta_matches(
+    tgd: TGD,
+    index: AtomIndex,
+    delta_lo: int,
+    stage_start: int,
+    seed_window: Optional[Tuple[int, int]] = None,
+) -> Iterator[Assignment]:
+    """:func:`delta_body_matches` through the compiled query runtime.
+
+    Produces the same assignment set (the differential tests in
+    ``tests/test_engine_seminaive.py`` / ``tests/test_query_eval.py`` hold
+    the two against each other): a thin decode wrapper over
+    :func:`iter_encoded_matches`, which holds the actual enumeration logic
+    — keeping serial and parallel discovery on one code path.
+    """
+    layout = assignment_layout(tgd)
+    seed_lo, seed_hi = seed_window if seed_window is not None else (None, None)
+    term = index.interner.term
+    for row in iter_encoded_matches(
+        tgd, layout, index, delta_lo, stage_start, seed_lo, seed_hi
+    ):
+        yield {variable: term(vid) for variable, vid in zip(layout, row)}
 
 
 def delta_frontier_keys(

@@ -1,0 +1,301 @@
+"""Parallel batch trigger discovery over a multiprocessing worker pool.
+
+PR 3 restructured semi-naive stages into a read-only batch-discovery pass
+(every TGD matched against fixed delta windows) followed by a strictly
+serial firing pass — precisely so that discovery, the embarrassingly
+parallel half of a stage, could be farmed out per TGD (ROADMAP item c).
+This module is that worker pool.  Threads would not help here: the workload
+is pure-Python join execution, so the pool uses **processes** and ships the
+interned fact encoding across the boundary instead of sharing memory.
+
+How a stage's discovery runs with ``workers=N``:
+
+1. **Sync** — the engine-side :class:`~repro.engine.indexes.AtomIndex`
+   exports a :class:`~repro.engine.indexes.WireSlice`: the facts appended
+   since the last stage as ``(stamp, predicate ID, row)`` triples plus the
+   new suffix of the interner's symbol tables.  Every worker applies the
+   slice to its replica index, which therefore has bit-identical stamps,
+   posting-list offsets and interned IDs (replicas never intern anything
+   themselves — rule constants and predicates are pre-interned parent-side
+   before the first export, and facts only ever arrive through slices).
+2. **Partition** — one task per TGD; when the rule set is narrower than the
+   pool (skewed workloads), each TGD's delta window is additionally split
+   into disjoint stamp sub-windows.  A match is seeded exactly at its first
+   body position carrying a delta atom, so sub-windowing the *seed* while
+   keeping the completion windows intact partitions the match set: no
+   worker produces a match another worker also produces, and the union is
+   exactly the serial enumeration.
+3. **Match** — each worker runs the compiled delta discovery
+   (:func:`repro.engine.delta.compiled_delta_matches`' register programs,
+   plan-cached on the replica across stages) and returns candidates as
+   interned-ID rows in a canonical per-TGD variable order.
+4. **Merge** — the engine gathers rows task by task (never by completion
+   order), decodes them through its own interner, deduplicates and sorts
+   exactly as the serial path does.  Discovery order therefore cannot leak
+   into trigger order: the firing pass — still strictly serial, as the
+   paper's chase discipline demands — sees the same canonical candidate
+   sequence as a ``workers=0`` run, bit for bit.  The differential harness
+   (``tests/test_differential_modes.py``) pins this across strategies and
+   worker counts.
+
+The pool is an opt-in: construct the engine (or call ``run_chase``) with
+``workers=N``; the default stays serial and no existing call site changes
+behaviour.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import traceback
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..chase.tgd import TGD
+from ..core.terms import is_rigid
+from .delta import Assignment, assignment_layout, iter_encoded_matches
+from .indexes import AtomIndex, WireCursor
+
+#: A discovery task: ``(tgd_index, seed_lo, seed_hi)``; ``None`` bounds mean
+#: the full delta window.
+Task = Tuple[int, Optional[int], Optional[int]]
+
+#: Delta windows narrower than this are never split across workers — the
+#: per-task messaging overhead would outweigh the matching work.
+MIN_WINDOW_SPLIT = 64
+
+#: ``fork`` keeps worker start-up at a few milliseconds and inherits the
+#: imported modules; ``spawn`` is the portable fallback.
+_START_METHODS = ("fork", "spawn")
+
+
+class WorkerError(RuntimeError):
+    """A discovery worker raised; carries the remote traceback."""
+
+
+# ----------------------------------------------------------------------
+# Worker side
+# ----------------------------------------------------------------------
+def _worker_main(conn, tgds: Sequence[TGD]) -> None:
+    """The worker process loop: apply slices, run tasks, ship rows back.
+
+    Messages in: ``("run", slice_or_None, delta_lo, stage_start, tasks)``
+    and ``("stop",)``.  Messages out: ``("ok", rows_per_task)`` aligned with
+    the incoming task list, or ``("error", traceback_text)``.
+    """
+    replica = AtomIndex()
+    layouts = [assignment_layout(tgd) for tgd in tgds]
+    try:
+        while True:
+            message = conn.recv()
+            kind = message[0]
+            if kind == "stop":
+                return
+            try:
+                _, wire, delta_lo, stage_start, tasks = message
+                if wire is not None:
+                    replica.apply_slice(wire)
+                interner = replica.interner
+                synced = (interner.term_count(), interner.predicate_count())
+                results: List[List[Tuple[int, ...]]] = []
+                for tgd_index, seed_lo, seed_hi in tasks:
+                    results.append(
+                        list(
+                            iter_encoded_matches(
+                                tgds[tgd_index],
+                                layouts[tgd_index],
+                                replica,
+                                delta_lo,
+                                stage_start,
+                                seed_lo,
+                                seed_hi,
+                            )
+                        )
+                    )
+                if synced != (interner.term_count(), interner.predicate_count()):
+                    # A replica must never mint IDs of its own: the next
+                    # install would collide.  Pre-interning rule symbols
+                    # engine-side makes this unreachable; fail loudly if a
+                    # future change breaks that invariant.
+                    raise AssertionError("worker interned unsynced symbols")
+                conn.send(("ok", results))
+            except Exception:  # noqa: BLE001 - shipped to the engine side
+                conn.send(("error", traceback.format_exc()))
+    except (EOFError, OSError, KeyboardInterrupt):
+        # The engine went away (or is tearing the pool down): just exit.
+        return
+
+
+# ----------------------------------------------------------------------
+# Engine side
+# ----------------------------------------------------------------------
+class ParallelDiscovery:
+    """A pool of discovery workers bound to one TGD set.
+
+    Created per chase run (the workers replicate that run's index
+    incrementally), used once per stage through :meth:`discover`, and closed
+    in the engine's ``finally``.  Also usable directly — the benchmark
+    drives it against a standalone index.
+    """
+
+    def __init__(
+        self,
+        tgds: Sequence[TGD],
+        workers: int,
+        start_method: Optional[str] = None,
+        min_window_split: int = MIN_WINDOW_SPLIT,
+    ) -> None:
+        if workers < 2:
+            raise ValueError("a discovery pool needs at least 2 workers")
+        self._tgds = list(tgds)
+        self._layouts = [assignment_layout(tgd) for tgd in self._tgds]
+        self._min_window_split = min_window_split
+        self._cursor: Optional[WireCursor] = None
+        self._preinterned = False
+        if start_method is None:
+            available = multiprocessing.get_all_start_methods()
+            start_method = next(m for m in _START_METHODS if m in available)
+        context = multiprocessing.get_context(start_method)
+        self._conns = []
+        self._processes = []
+        try:
+            for _ in range(workers):
+                parent_conn, child_conn = context.Pipe()
+                process = context.Process(
+                    target=_worker_main,
+                    args=(child_conn, self._tgds),
+                    daemon=True,
+                )
+                process.start()
+                child_conn.close()
+                self._conns.append(parent_conn)
+                self._processes.append(process)
+        except BaseException:
+            self.close()
+            raise
+
+    # ------------------------------------------------------------------
+    @property
+    def workers(self) -> int:
+        """Number of worker processes in the pool."""
+        return len(self._processes)
+
+    def __enter__(self) -> "ParallelDiscovery":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def close(self) -> None:
+        """Stop the workers; idempotent, safe mid-teardown."""
+        conns, self._conns = self._conns, None
+        processes, self._processes = self._processes, []
+        for conn in conns or ():
+            try:
+                conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for process in processes:
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.terminate()
+                process.join(timeout=5)
+        for conn in conns or ():
+            conn.close()
+
+    # ------------------------------------------------------------------
+    def discover(
+        self, index: AtomIndex, delta_lo: int, stage_start: int
+    ) -> List[List[Assignment]]:
+        """One stage's batch discovery, fanned out and canonically merged.
+
+        Returns one assignment list per TGD (rule order), containing exactly
+        the assignments the serial
+        :func:`~repro.engine.delta.compiled_delta_matches` loop would have
+        produced.  Merge order is fixed by the task list, never by worker
+        completion order, so the result is deterministic for any pool size.
+        """
+        if self._conns is None:
+            raise RuntimeError("discovery pool is closed")
+        self._preintern(index)
+        wire, self._cursor = index.export_slice(self._cursor)
+        tasks = self._plan_tasks(delta_lo, stage_start)
+        worker_count = len(self._conns)
+        parts = [tasks[offset::worker_count] for offset in range(worker_count)]
+        for conn, part in zip(self._conns, parts):
+            # Every worker gets the sync slice even when it drew no tasks —
+            # replicas must never fall behind the export stream.
+            conn.send(("run", wire, delta_lo, stage_start, part))
+        rows_by_task: Dict[Task, List[Tuple[int, ...]]] = {}
+        failure: Optional[str] = None
+        for conn, part in zip(self._conns, parts):
+            reply = conn.recv()
+            if reply[0] == "error":
+                failure = reply[1]
+                continue
+            for task, rows in zip(part, reply[1]):
+                rows_by_task[task] = rows
+        if failure is not None:
+            # A failed worker may have applied the slice only partially, and
+            # the cursor above has already advanced past it: the replicas
+            # can no longer be trusted to match the export stream.  Poison
+            # the pool so a caller that catches the error cannot keep using
+            # silently-desynced replicas.
+            self.close()
+            raise WorkerError(f"discovery worker failed:\n{failure}")
+        term = index.interner.term
+        results: List[List[Assignment]] = [[] for _ in self._tgds]
+        for task in tasks:
+            layout = self._layouts[task[0]]
+            bucket = results[task[0]]
+            for row in rows_by_task[task]:
+                bucket.append(
+                    {variable: term(vid) for variable, vid in zip(layout, row)}
+                )
+        return results
+
+    # ------------------------------------------------------------------
+    def _preintern(self, index: AtomIndex) -> None:
+        """Intern every symbol a worker's compiler could touch, engine-side.
+
+        Compiling a body interns its predicates and rigid constants; doing
+        it here **before the first export** guarantees those IDs travel in
+        the slice and the replicas never allocate IDs of their own — the
+        alignment invariant of :meth:`Interner.install_terms`.
+        """
+        if self._preinterned:
+            return
+        interner = index.interner
+        for tgd in self._tgds:
+            for atom in tgd.body + tgd.head:
+                interner.intern_predicate(atom.predicate)
+                for arg in atom.args:
+                    if is_rigid(arg):
+                        interner.intern_term(arg)
+        self._preinterned = True
+
+    def _plan_tasks(self, delta_lo: int, stage_start: int) -> List[Task]:
+        """The stage's task list: per-TGD, sub-windowed when rules are few.
+
+        With fewer TGDs than workers and a wide enough delta, each TGD's
+        seed window is split into contiguous stamp sub-ranges so a skewed
+        rule set still occupies the whole pool (see the module docstring for
+        why seed sub-windowing preserves the exact match partition).
+        """
+        count = len(self._tgds)
+        if count == 0:
+            return []
+        window = stage_start - delta_lo
+        chunks = 1
+        worker_count = len(self._conns)
+        if count < worker_count and window >= self._min_window_split:
+            per_tgd = -(-worker_count // count)  # ceil
+            chunks = min(per_tgd, max(1, window // self._min_window_split))
+        if chunks <= 1:
+            return [(i, None, None) for i in range(count)]
+        bounds = [
+            delta_lo + (window * k) // chunks for k in range(chunks + 1)
+        ]
+        return [
+            (i, bounds[k], bounds[k + 1])
+            for i in range(count)
+            for k in range(chunks)
+        ]

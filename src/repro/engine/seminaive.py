@@ -25,7 +25,7 @@ the two stage by stage.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Sequence
+from typing import Iterable, List, Optional, Sequence
 
 from ..chase.chase import ChaseBudgetExceeded, ChaseResult
 from ..chase.provenance import ChaseProvenance, ChaseStep
@@ -33,7 +33,7 @@ from ..chase.tgd import TGD
 from ..chase.trigger import Trigger, apply_trigger, frontier_key, trigger_sort_key
 from ..core.structure import Structure
 from ..core.terms import FreshNullFactory
-from .delta import compiled_delta_matches
+from .delta import Assignment, compiled_delta_matches
 from .indexes import AtomIndex
 from .strategies import FiringStrategy, lazy_strategy
 
@@ -44,7 +44,9 @@ class SemiNaiveChaseEngine:
 
     Accepts the same parameters as the reference engine plus a *strategy*
     (see :mod:`repro.engine.strategies`); the default lazy strategy is the
-    paper's chase.
+    paper's chase.  ``workers=N`` additionally fans each stage's batch
+    discovery out over a process pool (:mod:`repro.engine.parallel`) without
+    changing a single output bit.
     """
 
     tgds: Sequence[TGD]
@@ -57,6 +59,12 @@ class SemiNaiveChaseEngine:
     #: post-chase queries on the result (certificate checks, containment)
     #: reuse it instead of rebuilding; set False to detach it as before.
     share_index: bool = True
+    #: Number of parallel discovery workers (``repro.engine.parallel``).
+    #: ``0`` / ``1`` keep the stage's batch-discovery pass in-process; with
+    #: ``N ≥ 2`` it is fanned out over N worker processes and merged back
+    #: into the canonical order, so the run stays bit-identical either way.
+    #: The firing pass is always serial — the chase discipline demands it.
+    workers: int = 0
 
     # ------------------------------------------------------------------
     def run(self, instance: Structure) -> ChaseResult:
@@ -78,12 +86,24 @@ class SemiNaiveChaseEngine:
         stage = 0
         reached_fixpoint = False
         delta_lo = 0
+        pool = None
         try:
+            if self.workers and self.workers >= 2 and self.tgds:
+                from .parallel import ParallelDiscovery
+
+                pool = ParallelDiscovery(self.tgds, self.workers)
             while max_stages is None or stage < max_stages:
                 stage += 1
                 stage_start = index.watermark()
                 fired = self._run_stage(
-                    current, index, delta_lo, stage_start, null_factory, provenance, stage
+                    current,
+                    index,
+                    delta_lo,
+                    stage_start,
+                    null_factory,
+                    provenance,
+                    stage,
+                    pool,
                 )
                 delta_lo = stage_start
                 if self.keep_snapshots:
@@ -101,6 +121,8 @@ class SemiNaiveChaseEngine:
                         )
                     break
         finally:
+            if pool is not None:
+                pool.close()
             if self.share_index:
                 # Keep the index attached and hand it to the query layer:
                 # the chased structure's first certificate / containment
@@ -128,6 +150,7 @@ class SemiNaiveChaseEngine:
         null_factory: FreshNullFactory,
         provenance: ChaseProvenance,
         stage: int,
+        pool=None,
     ) -> bool:
         """Run one stage; return ``True`` when at least one trigger fired."""
         strategy = self.strategy
@@ -136,17 +159,27 @@ class SemiNaiveChaseEngine:
         # the delta through the compiled runtime *before* any trigger fires.
         # Body matches range over the stage-start posting-list prefix, and
         # firings only append beyond it, so the discovered sets are identical
-        # to per-TGD interleaved discovery — but the whole stage now runs as
-        # one read-only pass over the delta windows (cached register
-        # programs, no per-trigger probing), which is also the shape a
-        # parallel stage executor needs (ROADMAP item c).
+        # to per-TGD interleaved discovery — but the whole stage runs as one
+        # read-only pass over the delta windows (cached register programs, no
+        # per-trigger probing), which is exactly the shape the parallel pool
+        # farms out per TGD (ROADMAP item c).  With a pool the workers
+        # enumerate against synced replica indexes; either way the candidate
+        # sets are identical and the canonicalisation below erases any trace
+        # of where (or in what order) a match was discovered.
+        if pool is not None:
+            per_tgd: Iterable[Iterable[Assignment]] = pool.discover(
+                index, delta_lo, stage_start
+            )
+        else:
+            per_tgd = (
+                compiled_delta_matches(tgd, index, delta_lo, stage_start)
+                for tgd in self.tgds
+            )
         stage_candidates: List[List[tuple]] = []
-        for tgd in self.tgds:
+        for tgd, assignments in zip(self.tgds, per_tgd):
             seen: set = set()
             candidates: List[tuple] = []
-            for assignment in compiled_delta_matches(
-                tgd, index, delta_lo, stage_start
-            ):
+            for assignment in assignments:
                 frontier = frontier_key(tgd, assignment)
                 dedup = strategy.dedup_key(frontier, assignment)
                 if dedup in seen:

@@ -143,6 +143,8 @@ class CompiledQuery:
         "hash_recommended",
         "_exec_key",
         "_exec_state",
+        "_hash_key",
+        "_hash_state",
     )
 
     def __init__(
@@ -161,6 +163,13 @@ class CompiledQuery:
         # skips the whole preamble.
         self._exec_key: Optional[tuple] = None
         self._exec_state: Optional[tuple] = None
+        # The hash executor's per-step build tables for the last snapshot it
+        # ran under, keyed the same way (stamp windows + index generation).
+        # Build tables depend only on posting rows and windows — never on the
+        # probing registers — so repeated evaluation against an unchanged
+        # snapshot (the ROADMAP (i) case) skips every per-step scan.
+        self._hash_key: Optional[tuple] = None
+        self._hash_state: Optional[list] = None
         #: ``(term, slot)`` for terms the caller pre-binds (fix / frozen /
         #: frontier images); the slot must be filled with the interned ID of
         #: the image before execution.
@@ -501,7 +510,17 @@ def _resolve_windows(
     hi: Optional[int],
     delta_lo: Optional[int],
     stage_start: Optional[int],
+    seed_lo: Optional[int] = None,
+    seed_hi: Optional[int] = None,
 ) -> List[Tuple[Optional[int], Optional[int]]]:
+    """Per-step stamp windows.
+
+    ``seed_lo`` / ``seed_hi`` narrow the ``W_SEED`` window to a sub-range of
+    the delta (the parallel pool's delta-window partitioning: each worker
+    seeds matches only at delta atoms inside its sub-window, while the
+    ``W_PRE`` / ``W_STAGE`` completion windows stay untouched — so the
+    workers' match sets partition the serial one exactly).
+    """
     windows: List[Tuple[Optional[int], Optional[int]]] = []
     for step in steps:
         if step.window == W_ALL:
@@ -509,7 +528,12 @@ def _resolve_windows(
         elif step.window == W_PRE:
             windows.append((None, delta_lo))
         elif step.window == W_SEED:
-            windows.append((delta_lo, stage_start))
+            windows.append(
+                (
+                    delta_lo if seed_lo is None else seed_lo,
+                    stage_start if seed_hi is None else seed_hi,
+                )
+            )
         else:
             windows.append((None, stage_start))
     return windows
@@ -522,6 +546,8 @@ def execute_nested(
     hi: Optional[int] = None,
     delta_lo: Optional[int] = None,
     stage_start: Optional[int] = None,
+    seed_lo: Optional[int] = None,
+    seed_hi: Optional[int] = None,
 ) -> Iterator[List[int]]:
     """Depth-first compiled execution (index-probe nested-loop join).
 
@@ -557,14 +583,14 @@ def execute_nested(
     # happens to come back identical (e.g. removing the only atom).  An
     # empty posting or a constant value with zero rows inside its stamp
     # window proves there are no solutions at all ("empty" is cached too).
-    exec_key = (hi, delta_lo, stage_start, index.generation())
+    exec_key = (hi, delta_lo, stage_start, seed_lo, seed_hi, index.generation())
     if compiled._exec_key == exec_key:
         state = compiled._exec_state
         if state is None:
             return
         windows, step_rows, const_probes = state
     else:
-        windows = _resolve_windows(steps, hi, delta_lo, stage_start)
+        windows = _resolve_windows(steps, hi, delta_lo, stage_start, seed_lo, seed_hi)
         step_rows: List[List[Tuple[int, ...]]] = []
         const_probes: List[Optional[Tuple[object, int]]] = []
         empty = False
@@ -654,6 +680,59 @@ def execute_nested(
             depth -= 1
 
 
+def _build_hash_step(
+    step: CompiledStep,
+    index: "AtomIndex",
+    window: Tuple[Optional[int], Optional[int]],
+) -> tuple:
+    """The register-independent build side of one hash-join step.
+
+    Returns ``("empty",)`` when the step's window provably holds no matching
+    rows, ``("join", table)`` when the step joins on previously-bound slots
+    (rows bucketed by their join-position values), or ``("scan", rows)`` for
+    a cross-product step.  None of this depends on the probing registers, so
+    the result is cached on the compiled query per evaluation snapshot.
+    """
+    posting = index.posting(step.pred_id)
+    if posting is None:
+        return ("empty",)
+    lo, step_hi = window
+    start, stop = posting.bounds(lo, step_hi)
+    rows = posting.rows
+    consts = step.consts
+    sames = step.sames
+    joins = step.joins
+
+    def row_passes(row: Tuple[int, ...]) -> bool:
+        for position, vid in consts:
+            if row[position] != vid:
+                return False
+        for position, earlier in sames:
+            if row[position] != row[earlier]:
+                return False
+        return True
+
+    if joins:
+        table: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
+        for offset in range(start, stop):
+            row = rows[offset]
+            if not row_passes(row):
+                continue
+            key = tuple(row[position] for position, _ in joins)
+            bucket = table.get(key)
+            if bucket is None:
+                table[key] = [row]
+            else:
+                bucket.append(row)
+        return ("join", table)
+    matching = [
+        rows[offset] for offset in range(start, stop) if row_passes(rows[offset])
+    ]
+    if not matching:
+        return ("empty",)
+    return ("scan", matching)
+
+
 def execute_hash(
     compiled: CompiledQuery,
     index: "AtomIndex",
@@ -661,6 +740,8 @@ def execute_hash(
     hi: Optional[int] = None,
     delta_lo: Optional[int] = None,
     stage_start: Optional[int] = None,
+    seed_lo: Optional[int] = None,
+    seed_hi: Optional[int] = None,
 ) -> Iterator[List[int]]:
     """Breadth-first compiled execution (build–probe hash join).
 
@@ -670,44 +751,43 @@ def execute_hash(
     regardless of how many partials exist — the win over the nested-loop
     executor on cyclic bodies, where every partial would otherwise pay an
     index probe (and its selectivity bookkeeping) per closing atom.
+
+    The build tables are cached on the compiled query keyed by the
+    evaluation snapshot ``(stamp windows, index generation)`` — the exact
+    analogue of the nested executor's preamble cache — so re-evaluating the
+    same query against an unchanged structure (repeated containment checks,
+    per-frontier trigger satisfaction) pays zero scans.  The cache fills
+    lazily: a run whose partials empty out at step *k* caches the tables of
+    steps ``0..k`` only, and a later run extends it on demand.
     """
     steps = compiled.steps
-    windows = _resolve_windows(steps, hi, delta_lo, stage_start)
+    hash_key = (hi, delta_lo, stage_start, seed_lo, seed_hi, index.generation())
+    if compiled._hash_key == hash_key:
+        built = compiled._hash_state
+    else:
+        built = []
+        compiled._hash_key = hash_key
+        compiled._hash_state = built
+    windows = None
     partials: List[List[int]] = [list(registers)]
     for depth, step in enumerate(steps):
-        posting = index.posting(step.pred_id)
-        if posting is None:
+        if depth < len(built):
+            entry = built[depth]
+        else:
+            if windows is None:
+                windows = _resolve_windows(
+                    steps, hi, delta_lo, stage_start, seed_lo, seed_hi
+                )
+            entry = _build_hash_step(step, index, windows[depth])
+            built.append(entry)
+        kind = entry[0]
+        if kind == "empty":
             return
-        lo, step_hi = windows[depth]
-        start, stop = posting.bounds(lo, step_hi)
-        rows = posting.rows
-        consts = step.consts
-        sames = step.sames
-        joins = step.joins
         binds = step.binds
-
-        def row_passes(row: Tuple[int, ...]) -> bool:
-            for position, vid in consts:
-                if row[position] != vid:
-                    return False
-            for position, earlier in sames:
-                if row[position] != row[earlier]:
-                    return False
-            return True
-
         fresh: List[List[int]] = []
-        if joins:
-            table: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
-            for offset in range(start, stop):
-                row = rows[offset]
-                if not row_passes(row):
-                    continue
-                key = tuple(row[position] for position, _ in joins)
-                bucket = table.get(key)
-                if bucket is None:
-                    table[key] = [row]
-                else:
-                    bucket.append(row)
+        if kind == "join":
+            table = entry[1]
+            joins = step.joins
             for regs in partials:
                 key = tuple(regs[slot] for _, slot in joins)
                 bucket = table.get(key)
@@ -719,13 +799,8 @@ def execute_hash(
                         extended[slot] = row[position]
                     fresh.append(extended)
         else:
-            matching = [
-                rows[offset]
-                for offset in range(start, stop)
-                if row_passes(rows[offset])
-            ]
             for regs in partials:
-                for row in matching:
+                for row in entry[1]:
                     extended = list(regs)
                     for position, slot in binds:
                         extended[slot] = row[position]

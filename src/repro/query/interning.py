@@ -22,12 +22,18 @@ Invariants:
   stay valid for the lifetime of the structure;
 * terms and predicates are interned by **equality** (the same ``Variable``
   or ``Constant`` value always gets the same ID), which is exactly the
-  equality the reference homomorphism search matches on.
+  equality the reference homomorphism search matches on;
+* the tables are **wire-stable**: because IDs are dense and append-only, a
+  remote replica (see :mod:`repro.engine.parallel`) can be kept in sync by
+  shipping only the suffix of each table added since the last sync
+  (:meth:`Interner.terms_since` / :meth:`Interner.install_terms`), and an
+  encoded fact row means the same atom on both sides of the process
+  boundary.
 """
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Tuple
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..core.atoms import Atom
 
@@ -87,6 +93,46 @@ class Interner:
 
     def predicate_count(self) -> int:
         return len(self._predicates)
+
+    # ------------------------------------------------------------------
+    # Wire synchronisation (cross-process replicas)
+    # ------------------------------------------------------------------
+    def terms_since(self, start: int) -> List[object]:
+        """The terms with IDs ``start, start+1, …`` (empty when up to date)."""
+        return self._terms[start:]
+
+    def predicates_since(self, start: int) -> List[str]:
+        """The predicate names with IDs ``start, start+1, …``."""
+        return self._predicates[start:]
+
+    def install_terms(self, terms: Sequence[object], base: int) -> None:
+        """Append *terms* with IDs ``base, base+1, …`` (replica side).
+
+        The replica must be exactly *base* terms long: IDs are positional,
+        so installing against a diverged table would silently remap facts.
+        The parallel discovery protocol guarantees alignment by pre-interning
+        everything a worker could ever intern on its own (rule constants and
+        predicates) before the first export.
+        """
+        if base != len(self._terms):
+            raise ValueError(
+                f"interner replica out of sync: has {len(self._terms)} terms, "
+                f"wire slice expects {base}"
+            )
+        for term in terms:
+            self._term_ids[term] = len(self._terms)
+            self._terms.append(term)
+
+    def install_predicates(self, names: Sequence[str], base: int) -> None:
+        """Append predicate *names* with IDs ``base, base+1, …`` (replica side)."""
+        if base != len(self._predicates):
+            raise ValueError(
+                f"interner replica out of sync: has {len(self._predicates)} "
+                f"predicates, wire slice expects {base}"
+            )
+        for name in names:
+            self._predicate_ids[name] = len(self._predicates)
+            self._predicates.append(name)
 
     # ------------------------------------------------------------------
     # Fact encoding

@@ -1,0 +1,279 @@
+"""Unit tests for parallel batch discovery (repro.engine.parallel).
+
+The wire format (interned fact slices), the replica-index synchronisation
+protocol, the pool's task partitioning (per-TGD and delta-window splitting)
+and the engine-level ``workers=`` opt-in are each pinned here; the
+whole-run bit-identity of the parallel engine across firing strategies
+lives in ``tests/test_differential_modes.py``.
+"""
+
+import pickle
+
+import pytest
+
+from repro.chase import chase, parse_tgds
+from repro.core.atoms import Atom
+from repro.core.builders import structure_from_text
+from repro.core.terms import Constant, LabeledNull, Variable
+from repro.engine import (
+    AtomIndex,
+    ParallelDiscovery,
+    SemiNaiveChaseEngine,
+    make_engine,
+    run_chase,
+)
+from repro.engine.delta import compiled_delta_matches
+from repro.query.interning import Interner
+
+
+def canonical(assignments):
+    """Assignment dicts as a sorted, order-insensitive list of item tuples."""
+    return sorted(
+        tuple(sorted(((repr(k), repr(v)) for k, v in a.items()))) for a in assignments
+    )
+
+
+def serial_discovery(tgds, index, delta_lo, stage_start):
+    return [
+        list(compiled_delta_matches(tgd, index, delta_lo, stage_start))
+        for tgd in tgds
+    ]
+
+
+def assert_same_index(replica, source):
+    assert replica.watermark() == source.watermark()
+    assert replica.rebuilds == source.rebuilds
+    interner = source.interner
+    for pid in range(interner.predicate_count()):
+        source_posting = source.posting(pid)
+        replica_posting = replica.posting(pid)
+        if source_posting is None:
+            assert replica_posting is None or not replica_posting.atoms
+            continue
+        assert replica_posting is not None
+        assert replica_posting.atoms == source_posting.atoms
+        assert replica_posting.rows == source_posting.rows
+        assert replica_posting.stamps == source_posting.stamps
+
+
+# ----------------------------------------------------------------------
+# Wire slices: full, incremental, steady-state, rebuild reset
+# ----------------------------------------------------------------------
+def test_wire_slice_full_and_incremental_round_trip():
+    structure = structure_from_text("R(1,2), R(2,3), S(3,4)")
+    index = AtomIndex(structure)
+    wire, cursor = index.export_slice(None)
+    assert wire.reset and wire.term_base == 0
+    replica = AtomIndex()
+    replica.apply_slice(wire)
+    assert_same_index(replica, index)
+    # Unchanged index: the steady-state export is None and costs nothing.
+    wire, cursor = index.export_slice(cursor)
+    assert wire is None
+    # Growth ships only the suffix: new facts, new symbols, same stamps.
+    structure.add_fact("R", "3", "9")
+    structure.add_fact("T", "9")
+    wire, cursor = index.export_slice(cursor)
+    assert not wire.reset
+    assert len(wire.facts) == 2
+    assert "T" in wire.predicates and "9" in wire.terms
+    replica.apply_slice(wire)
+    assert_same_index(replica, index)
+    # And the replica answers the same queries as the source.
+    assert list(replica.atoms("R")) == list(index.atoms("R"))
+    assert replica.count_with_value("R", 0, "3") == 1
+
+
+def test_wire_slice_reset_after_rebuild_syncs_replica():
+    structure = structure_from_text("R(1,2), R(2,3)")
+    index = AtomIndex(structure)
+    wire, cursor = index.export_slice(None)
+    replica = AtomIndex()
+    replica.apply_slice(wire)
+    structure.remove_atom(Atom("R", ("1", "2")))  # full index rebuild
+    assert index.rebuilds == 1
+    wire, cursor = index.export_slice(cursor)
+    assert wire.reset
+    replica.apply_slice(wire)
+    assert_same_index(replica, index)
+    # Interned IDs survived the rebuild on both sides (append-only tables).
+    assert replica.interner.term_id("1") == index.interner.term_id("1")
+
+
+def test_wire_slice_survives_pickling():
+    structure = structure_from_text("R(1,2), S(2,#c)")
+    index = AtomIndex(structure)
+    wire, _ = index.export_slice(None)
+    replica = AtomIndex()
+    replica.apply_slice(pickle.loads(pickle.dumps(wire)))
+    assert_same_index(replica, index)
+
+
+def test_apply_slice_requires_detached_index():
+    structure = structure_from_text("R(1,2)")
+    index = AtomIndex(structure)
+    wire, _ = index.export_slice(None)
+    with pytest.raises(ValueError):
+        index.apply_slice(wire)
+
+
+# ----------------------------------------------------------------------
+# Interning across the pickle/wire boundary
+# ----------------------------------------------------------------------
+def test_interner_round_trip_across_pickle_boundary():
+    interner = Interner()
+    terms = [Variable("x"), Constant("c"), LabeledNull(3, "w"), ("L", "e0"), "plain"]
+    ids = [interner.intern_term(t) for t in terms]
+    pid, row = interner.encode_atom(Atom("R", (terms[0], terms[1])))
+    clone = pickle.loads(pickle.dumps(interner))
+    assert [clone.term_id(t) for t in terms] == ids
+    assert clone.decode_atom(pid, row) == Atom("R", (terms[0], terms[1]))
+    assert clone.term_count() == interner.term_count()
+    # install_* is positional: a diverged replica must fail loudly, never
+    # silently remap IDs.
+    with pytest.raises(ValueError):
+        clone.install_terms(["stray"], base=0)
+    with pytest.raises(ValueError):
+        clone.install_predicates(["Q"], base=0)
+    clone.install_terms(["tail"], base=clone.term_count())
+    assert clone.term(clone.term_count() - 1) == "tail"
+
+
+# ----------------------------------------------------------------------
+# The discovery pool
+# ----------------------------------------------------------------------
+TGDS = parse_tgds(
+    "R(x,y), R(y,z) -> S(x,z)",
+    "S(x,y), R(y,z) -> S(x,z)",
+    "R(x,x) -> T(x,w)",
+)
+
+
+def test_pool_discovery_matches_serial_batch():
+    structure = structure_from_text(
+        ", ".join(f"R({i},{(i + 1) % 9})" for i in range(9)) + ", R(4,4)"
+    )
+    index = AtomIndex(structure)
+    stage_start = index.watermark()
+    serial = serial_discovery(TGDS, index, 0, stage_start)
+    with ParallelDiscovery(TGDS, workers=3) as pool:
+        parallel = pool.discover(index, 0, stage_start)
+    assert len(parallel) == len(serial)
+    for serial_part, parallel_part in zip(serial, parallel):
+        assert canonical(parallel_part) == canonical(serial_part)
+
+
+def test_pool_incremental_stage_discovery_matches_serial():
+    structure = structure_from_text("R(0,1), R(1,2)")
+    index = AtomIndex(structure)
+    with ParallelDiscovery(TGDS, workers=2) as pool:
+        stage_start = index.watermark()
+        first = pool.discover(index, 0, stage_start)
+        assert canonical(first[0]) == canonical(
+            serial_discovery(TGDS, index, 0, stage_start)[0]
+        )
+        # Grow the structure (as firing would) and discover from the delta.
+        structure.add_fact("S", "0", "2")
+        structure.add_fact("R", "2", "3")
+        delta_lo, stage_start = stage_start, index.watermark()
+        serial = serial_discovery(TGDS, index, delta_lo, stage_start)
+        parallel = pool.discover(index, delta_lo, stage_start)
+        for serial_part, parallel_part in zip(serial, parallel):
+            assert canonical(parallel_part) == canonical(serial_part)
+
+
+def test_pool_delta_window_splitting_partitions_exactly():
+    # One rule, four workers: the pool must split the delta window to keep
+    # the pool busy, and the split must reproduce the serial match multiset
+    # (each match is seeded in exactly one sub-window).
+    rules = parse_tgds("R(x,y), R(y,z), R(z,u) -> Q(x,u)")
+    structure = structure_from_text(
+        ", ".join(f"R({i},{(i + 3) % 17})" for i in range(17))
+        + ", "
+        + ", ".join(f"R({i},{(i + 5) % 17})" for i in range(17))
+    )
+    index = AtomIndex(structure)
+    stage_start = index.watermark()
+    with ParallelDiscovery(rules, workers=4, min_window_split=4) as pool:
+        tasks = pool._plan_tasks(0, stage_start)
+        assert len(tasks) == 4  # 1 TGD × 4 sub-windows
+        assert tasks[0][1] == 0 and tasks[-1][2] == stage_start
+        parallel = pool.discover(index, 0, stage_start)
+    serial = serial_discovery(rules, index, 0, stage_start)
+    assert canonical(parallel[0]) == canonical(serial[0])
+    # The serial and parallel candidate *counts* also agree — windows
+    # partition the matches, they do not merely cover them.
+    assert len(parallel[0]) == len(serial[0])
+
+
+def test_pool_resyncs_after_index_rebuild():
+    structure = structure_from_text("R(0,1), R(1,2), R(2,0)")
+    index = AtomIndex(structure)
+    with ParallelDiscovery(TGDS, workers=2) as pool:
+        pool.discover(index, 0, index.watermark())
+        structure.remove_atom(Atom("R", ("2", "0")))  # rebuild + restamp
+        assert index.rebuilds == 1
+        stage_start = index.watermark()
+        serial = serial_discovery(TGDS, index, 0, stage_start)
+        parallel = pool.discover(index, 0, stage_start)
+        for serial_part, parallel_part in zip(serial, parallel):
+            assert canonical(parallel_part) == canonical(serial_part)
+
+
+def test_pool_is_poisoned_after_a_worker_failure(monkeypatch):
+    # Once a worker has failed, its replica may have applied the stage's
+    # wire slice only partially while the cursor already advanced — the
+    # pool must refuse further use instead of serving from desynced
+    # replicas.  A task with an out-of-range TGD index forces the failure.
+    structure = structure_from_text("R(0,1), R(1,2)")
+    index = AtomIndex(structure)
+    pool = ParallelDiscovery(TGDS, workers=2)
+    monkeypatch.setattr(pool, "_plan_tasks", lambda lo, hi: [(99, None, None)])
+    from repro.engine import WorkerError
+
+    with pytest.raises(WorkerError, match="IndexError"):
+        pool.discover(index, 0, index.watermark())
+    with pytest.raises(RuntimeError, match="closed"):
+        pool.discover(index, 0, index.watermark())
+
+
+def test_pool_rejects_use_after_close_and_tiny_pools():
+    pool = ParallelDiscovery(TGDS, workers=2)
+    pool.close()
+    pool.close()  # idempotent
+    structure = structure_from_text("R(0,1)")
+    index = AtomIndex(structure)
+    with pytest.raises(RuntimeError):
+        pool.discover(index, 0, index.watermark())
+    with pytest.raises(ValueError):
+        ParallelDiscovery(TGDS, workers=1)
+
+
+# ----------------------------------------------------------------------
+# Engine-level opt-in
+# ----------------------------------------------------------------------
+def test_parallel_engine_is_bit_identical_on_transitive_closure():
+    tgds = parse_tgds("R(x,y), R(y,z) -> S(x,z)", "S(x,y), R(y,z) -> S(x,z)")
+    instance = structure_from_text(
+        ", ".join(f"R({i},{i + 1})" for i in range(15))
+    )
+    serial = run_chase(tgds, instance, 50, 50_000)
+    parallel = run_chase(tgds, instance, 50, 50_000, workers=2)
+    reference = chase(tgds, instance, 50, 50_000)
+    for result in (serial, parallel):
+        assert result.structure.atoms() == reference.structure.atoms()
+        assert result.stages_run == reference.stages_run
+        assert len(result.provenance) == len(reference.provenance)
+    for expected, produced in zip(serial.provenance, parallel.provenance):
+        assert produced.trigger == expected.trigger
+        assert produced.new_atoms == expected.new_atoms
+
+
+def test_make_engine_threads_workers_through():
+    engine = make_engine(None, TGDS, workers=3)
+    assert isinstance(engine, SemiNaiveChaseEngine) and engine.workers == 3
+    configured = SemiNaiveChaseEngine(tgds=[], workers=2)
+    assert make_engine(configured, TGDS).workers == 2  # instance keeps its knob
+    assert make_engine(configured, TGDS, workers=0).workers == 0  # explicit off
+    with pytest.raises(ValueError):
+        make_engine("reference", TGDS, workers=2)

@@ -334,6 +334,92 @@ def test_executor_state_does_not_survive_watermark_preserving_rebuild():
     ] == list(q.all_homomorphisms([Atom("R", (x, y))], target, context=context))
 
 
+def test_hash_executor_build_tables_are_cached_per_snapshot():
+    # ROADMAP follow-up (i): the hash executor must reuse its per-step build
+    # tables across evaluations of the same snapshot, mirroring the nested
+    # executor's preamble cache, and rebuild them as soon as the snapshot
+    # (stamp window + generation) moves.
+    target = Structure(
+        [Atom("R", (str(i), str((i + 1) % 6))) for i in range(6)]
+    )
+    context = q.EvalContext()
+    index = context.index_for(target)
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    triangle = (Atom("R", (x, y)), Atom("R", (y, z)), Atom("R", (z, x)))
+    compiled = q.compiled_for(index, triangle, frozenset(), context=context)
+    hi = index.watermark()
+    first = [list(r) for r in q.execute_hash(compiled, index, compiled.fresh_registers(), hi=hi)]
+    state_id = id(compiled._hash_state)
+    assert compiled._hash_key is not None
+    again = [list(r) for r in q.execute_hash(compiled, index, compiled.fresh_registers(), hi=hi)]
+    assert again == first
+    assert id(compiled._hash_state) == state_id  # tables reused, not rebuilt
+    # Growth: the same hi bound keys a different generation — fresh tables,
+    # and the closing scan still only sees the stamp window below hi.
+    target.add_atom(Atom("R", ("0", "3")))
+    bounded = [list(r) for r in q.execute_hash(compiled, index, compiled.fresh_registers(), hi=hi)]
+    assert bounded == first
+    assert id(compiled._hash_state) != state_id
+    # Full-window evaluation after growth sees the new atom's consequences.
+    reference = canonical(HomomorphismProblem(list(triangle), target).solutions())
+    assert canonical(q.all_homomorphisms(list(triangle), target, strategy="hash", context=context)) == reference
+
+
+def test_hash_executor_state_does_not_survive_watermark_preserving_rebuild():
+    # The hash sibling of the nested-preamble trap above: removing the only
+    # atom rebuilds the index with zero re-inserts, so the watermark is
+    # unchanged while every posting list object was replaced — the cached
+    # build tables must be dropped via the generation component of the key.
+    target = Structure([Atom("R", ("a", "b"))])
+    context = q.EvalContext()
+    index = context.index_for(target)
+    x, y = Variable("x"), Variable("y")
+    compiled = q.compiled_for(index, (Atom("R", (x, y)),), frozenset())
+    hi = index.watermark()
+    assert len(list(q.execute_hash(compiled, index, compiled.fresh_registers(), hi=hi))) == 1
+    target.remove_atom(Atom("R", ("a", "b")))
+    assert index.watermark() == hi  # same hi, rebuilt tables
+    assert list(q.execute_hash(compiled, index, compiled.fresh_registers(), hi=index.watermark())) == []
+    target.add_atom(Atom("R", ("c", "d")))
+    assert len(list(q.execute_hash(compiled, index, compiled.fresh_registers(), hi=index.watermark()))) == 1
+
+
+def test_hash_executor_cache_fills_lazily_on_empty_prefixes():
+    # A run that dies at step 0 must not pay for (or wrongly freeze) the
+    # build tables of later steps: the cache extends on demand.
+    target = Structure([Atom("S", ("a", "b"))])
+    context = q.EvalContext()
+    index = context.index_for(target)
+    x, y, z = Variable("x"), Variable("y"), Variable("z")
+    atoms = (Atom("R", (x, y)), Atom("R", (y, z)), Atom("R", (z, x)))
+    compiled = q.compiled_for(index, atoms, frozenset(), context=context)
+    assert list(q.execute_hash(compiled, index, compiled.fresh_registers(), hi=index.watermark())) == []
+    assert len(compiled._hash_state) == 1  # only the failing step was built
+    target.add_atoms(Atom("R", (str(i), str((i + 1) % 3))) for i in range(3))
+    solutions = list(q.execute_hash(compiled, index, compiled.fresh_registers(), hi=index.watermark()))
+    assert len(solutions) == 3  # the triangle, rediscovered after growth
+
+
+def test_plan_cache_is_cleared_by_watermark_preserving_rebuild():
+    # Generation "wraparound" edge: a rebuild that re-inserts nothing leaves
+    # the watermark numerically identical, so cache validity must hinge on
+    # the rebuilds component, never the watermark alone.
+    target = Structure([Atom("R", ("a", "b"))])
+    context = q.EvalContext()
+    x, y = Variable("x"), Variable("y")
+    atoms = [Atom("R", (x, y))]
+    assert list(q.all_homomorphisms(atoms, target, context=context))
+    assert context.plans_compiled == 1
+    index = context.peek(target)
+    cache = q.plan_cache_for(index)
+    watermark = index.watermark()
+    target.remove_atom(Atom("R", ("a", "b")))
+    assert index.watermark() == watermark
+    assert list(q.all_homomorphisms(atoms, target, context=context)) == []
+    assert cache.invalidations >= 1
+    assert context.plans_compiled == 2
+
+
 def test_interned_ids_survive_index_rebuild():
     target = Structure([Atom("R", ("a", "b")), Atom("R", ("b", "c"))])
     context = q.EvalContext()
