@@ -39,6 +39,7 @@ from .delta import (
     delta_body_matches,
     delta_frontier_keys,
     head_satisfied_indexed,
+    select_delta_executor,
 )
 from .indexes import AtomIndex, WireCursor, WireSlice
 from .parallel import ParallelDiscovery, WorkerError
@@ -70,6 +71,7 @@ def make_engine(
     keep_snapshots: bool = True,
     strategy=None,
     workers: Optional[int] = None,
+    match_strategy: Optional[str] = None,
 ):
     """Resolve the shared ``engine=`` parameter into a ready-to-run engine.
 
@@ -83,6 +85,11 @@ def make_engine(
     silently discarded.  ``workers=N`` (N ≥ 2) opts the semi-naive engine
     into parallel batch discovery (:mod:`repro.engine.parallel`); ``None``
     keeps the instance's own setting, and the reference engine rejects it.
+    ``match_strategy`` selects the compiled executor for delta body matching
+    (``"nested"`` / ``"hash"`` / ``"wcoj"`` / ``"auto"``, see
+    :func:`repro.engine.delta.select_delta_executor`); output is
+    bit-identical under every choice, and the reference engine — which does
+    not run the compiled runtime — accepts only ``None`` / ``"nested"``.
     """
     if engine is None:
         engine = DEFAULT_ENGINE
@@ -101,6 +108,11 @@ def make_engine(
                     "parallel discovery is a semi-naive engine feature; "
                     "the reference engine is strictly serial"
                 )
+            if match_strategy is not None and match_strategy != "nested":
+                raise ValueError(
+                    "match strategies are a semi-naive engine feature; "
+                    "the reference engine never runs the compiled executors"
+                )
             return replace(
                 engine,
                 tgds=list(tgds),
@@ -117,6 +129,9 @@ def make_engine(
             max_atoms=min_bound(max_atoms, engine.max_atoms),
             keep_snapshots=keep_snapshots,
             workers=engine.workers if workers is None else workers,
+            match_strategy=(
+                engine.match_strategy if match_strategy is None else match_strategy
+            ),
         )
     if isinstance(engine, str):
         name = engine.lower()
@@ -128,12 +143,18 @@ def make_engine(
                 keep_snapshots=keep_snapshots,
                 strategy=resolve_strategy(strategy),
                 workers=workers or 0,
+                match_strategy=match_strategy or "nested",
             )
         if name in _REFERENCE_NAMES:
             if strategy is not None:
                 raise ValueError(
                     "firing strategies are a semi-naive engine feature; "
                     "the reference engine is always lazy"
+                )
+            if match_strategy is not None and match_strategy != "nested":
+                raise ValueError(
+                    "match strategies are a semi-naive engine feature; "
+                    "the reference engine never runs the compiled executors"
                 )
             if workers and workers >= 2:
                 # workers=0/1 means "serial" on the semi-naive engine, so a
@@ -165,13 +186,16 @@ def run_chase(
     engine: EngineSpec = None,
     strategy=None,
     workers: Optional[int] = None,
+    match_strategy: Optional[str] = None,
 ) -> ChaseResult:
     """Run the (bounded) chase of *instance* under *tgds* on a chosen engine.
 
     This is the engine-aware sibling of :func:`repro.chase.chase`; with
     ``engine="reference"`` the two are the same computation.  ``workers=N``
     (N ≥ 2) runs each stage's trigger discovery on a process pool — output
-    is bit-identical to the serial run.
+    is bit-identical to the serial run.  ``match_strategy`` selects the
+    compiled executor for delta matching (``"wcoj"`` enables the
+    worst-case-optimal generic join; output is identical either way).
     """
     resolved = make_engine(
         engine,
@@ -181,8 +205,17 @@ def run_chase(
         keep_snapshots=keep_snapshots,
         strategy=strategy,
         workers=workers,
+        match_strategy=match_strategy,
     )
-    return resolved.run(instance)
+    try:
+        return resolved.run(instance)
+    finally:
+        # `resolved` is always a fresh engine object (string specs construct
+        # one, instances are re-bound through dataclasses.replace), so its
+        # keep-alive pool would otherwise linger until garbage collection.
+        closer = getattr(resolved, "close", None)
+        if closer is not None:
+            closer()
 
 
 __all__ = [
@@ -204,5 +237,6 @@ __all__ = [
     "oblivious_strategy",
     "resolve_strategy",
     "run_chase",
+    "select_delta_executor",
     "semi_oblivious_strategy",
 ]

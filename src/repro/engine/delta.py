@@ -25,8 +25,9 @@ from ..chase.tgd import TGD
 from ..chase.trigger import frontier_key
 from ..core.atoms import Atom
 from ..core.terms import is_rigid
-from ..query.compile import compiled_for, execute_nested
+from ..query.compile import STRATEGIES, compiled_for, execute_hash, execute_nested
 from ..query.evaluator import exists_match, extend_match
+from ..query.wcoj import execute_wcoj
 from .indexes import AtomIndex
 
 Assignment = Dict[object, object]
@@ -158,6 +159,30 @@ def assignment_layout(tgd: TGD) -> Tuple[object, ...]:
     return tuple(sorted(terms, key=repr))
 
 
+def select_delta_executor(compiled, strategy: str):
+    """The compiled executor the delta discipline runs *compiled* on.
+
+    ``"nested"`` (the default everywhere) is the engine's historical
+    executor; ``"wcoj"`` / ``"hash"`` force the generic-join or hash-join
+    executor; ``"auto"`` upgrades to the worst-case-optimal executor exactly
+    when the compiler flagged the seeded body
+    (:attr:`~repro.query.compile.CompiledQuery.wcoj_recommended`: cyclic
+    over large enough posting lists) and stays nested otherwise.  Every
+    executor enumerates the same match set under the same seed windows, so
+    the choice never reaches the chase output — the differential harness
+    pins this bit for bit.
+    """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown match strategy {strategy!r}; known: {', '.join(STRATEGIES)}"
+        )
+    if strategy == "wcoj" or (strategy == "auto" and compiled.wcoj_recommended):
+        return execute_wcoj
+    if strategy == "hash":
+        return execute_hash
+    return execute_nested
+
+
 def iter_encoded_matches(
     tgd: TGD,
     layout: Tuple[object, ...],
@@ -166,6 +191,7 @@ def iter_encoded_matches(
     stage_start: int,
     seed_lo: Optional[int] = None,
     seed_hi: Optional[int] = None,
+    strategy: str = "nested",
 ) -> Iterator[Tuple[int, ...]]:
     """Delta body matches as interned-ID rows in *layout* order.
 
@@ -207,7 +233,8 @@ def iter_encoded_matches(
         compiled = compiled_for(index, body, frozenset(), seed=seed)
         slot_of = dict(compiled.outputs)
         order = tuple(slot_of[term] for term in layout)
-        for registers in execute_nested(
+        executor = select_delta_executor(compiled, strategy)
+        for registers in executor(
             compiled,
             index,
             compiled.fresh_registers(),
@@ -225,6 +252,7 @@ def compiled_delta_matches(
     delta_lo: int,
     stage_start: int,
     seed_window: Optional[Tuple[int, int]] = None,
+    strategy: str = "nested",
 ) -> Iterator[Assignment]:
     """:func:`delta_body_matches` through the compiled query runtime.
 
@@ -232,13 +260,14 @@ def compiled_delta_matches(
     ``tests/test_engine_seminaive.py`` / ``tests/test_query_eval.py`` hold
     the two against each other): a thin decode wrapper over
     :func:`iter_encoded_matches`, which holds the actual enumeration logic
-    — keeping serial and parallel discovery on one code path.
+    — keeping serial and parallel discovery on one code path.  ``strategy``
+    selects the compiled executor (see :func:`select_delta_executor`).
     """
     layout = assignment_layout(tgd)
     seed_lo, seed_hi = seed_window if seed_window is not None else (None, None)
     term = index.interner.term
     for row in iter_encoded_matches(
-        tgd, layout, index, delta_lo, stage_start, seed_lo, seed_hi
+        tgd, layout, index, delta_lo, stage_start, seed_lo, seed_hi, strategy
     ):
         yield {variable: term(vid) for variable, vid in zip(layout, row)}
 

@@ -184,6 +184,12 @@ class AtomIndex(StructureListener):
         #: Compiled-plan cache slot, lazily populated by
         #: :func:`repro.query.compile.plan_cache_for`.  Opaque to the engine.
         self.plan_cache = None
+        #: Sorted-trie cache slot of the worst-case-optimal executor, lazily
+        #: populated by :func:`repro.query.wcoj.trie_cache_for`.  Validated
+        #: against :attr:`rebuilds` and extended along the stamp watermark,
+        #: so it survives incremental growth and replica slice syncs and
+        #: drops cleanly on rebuilds.  Opaque to the engine.
+        self.trie_cache = None
         if structure is not None:
             self.attach(structure)
 

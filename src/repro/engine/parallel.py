@@ -77,9 +77,12 @@ class WorkerError(RuntimeError):
 def _worker_main(conn, tgds: Sequence[TGD]) -> None:
     """The worker process loop: apply slices, run tasks, ship rows back.
 
-    Messages in: ``("run", slice_or_None, delta_lo, stage_start, tasks)``
-    and ``("stop",)``.  Messages out: ``("ok", rows_per_task)`` aligned with
-    the incoming task list, or ``("error", traceback_text)``.
+    Messages in: ``("run", slice_or_None, delta_lo, stage_start, tasks,
+    strategy)``, ``("reset",)`` (drop the replica — a keep-alive pool is
+    being re-bound to a fresh engine index, whose export stream starts over
+    with new stamps and a new interner), and ``("stop",)``.  Messages out:
+    ``("ok", rows_per_task)`` aligned with the incoming task list, or
+    ``("error", traceback_text)``.
     """
     replica = AtomIndex()
     layouts = [assignment_layout(tgd) for tgd in tgds]
@@ -89,8 +92,12 @@ def _worker_main(conn, tgds: Sequence[TGD]) -> None:
             kind = message[0]
             if kind == "stop":
                 return
+            if kind == "reset":
+                # Plan/trie caches live on the replica and die with it.
+                replica = AtomIndex()
+                continue
             try:
-                _, wire, delta_lo, stage_start, tasks = message
+                _, wire, delta_lo, stage_start, tasks, strategy = message
                 if wire is not None:
                     replica.apply_slice(wire)
                 interner = replica.interner
@@ -107,6 +114,7 @@ def _worker_main(conn, tgds: Sequence[TGD]) -> None:
                                 stage_start,
                                 seed_lo,
                                 seed_hi,
+                                strategy,
                             )
                         )
                     )
@@ -178,11 +186,56 @@ class ParallelDiscovery:
         """Number of worker processes in the pool."""
         return len(self._processes)
 
+    @property
+    def rules(self) -> Tuple[TGD, ...]:
+        """The TGD set this pool was spawned with (workers hold a copy).
+
+        A pool is only reusable for a run over the *same* rule objects: the
+        TGD list travelled to the worker processes at spawn time, so a
+        changed rule set needs a fresh pool (the engine checks identity,
+        see :meth:`SemiNaiveChaseEngine._ensure_pool`).
+        """
+        return tuple(self._tgds)
+
+    @property
+    def closed(self) -> bool:
+        """True once :meth:`close` ran (including the worker-failure path)."""
+        return self._conns is None
+
     def __enter__(self) -> "ParallelDiscovery":
         return self
 
     def __exit__(self, *exc_info) -> None:
         self.close()
+
+    def __del__(self) -> None:  # pragma: no cover - GC timing dependent
+        try:
+            self.close()
+        except Exception:
+            pass
+
+    def reset(self) -> None:
+        """Drop every worker's replica; the next :meth:`discover` re-syncs.
+
+        The keep-alive handshake: a pool now outlives a single chase run
+        (see :meth:`SemiNaiveChaseEngine.close`), but each run builds a
+        fresh engine-side index whose stamps and interner start over — so
+        the replicas, cursor and pre-interning state must start over with
+        it.  Worker processes (and their imported modules) are reused.
+        """
+        if self._conns is None:
+            raise RuntimeError("discovery pool is closed")
+        try:
+            for conn in self._conns:
+                conn.send(("reset",))
+        except (BrokenPipeError, EOFError, OSError) as error:
+            # A worker died abruptly (kill/OOM): poison the pool so the
+            # engine's closed-pool check rebuilds instead of retrying a
+            # dead pipe forever.
+            self.close()
+            raise WorkerError(f"discovery worker went away: {error!r}") from error
+        self._cursor = None
+        self._preinterned = False
 
     def close(self) -> None:
         """Stop the workers; idempotent, safe mid-teardown."""
@@ -203,7 +256,11 @@ class ParallelDiscovery:
 
     # ------------------------------------------------------------------
     def discover(
-        self, index: AtomIndex, delta_lo: int, stage_start: int
+        self,
+        index: AtomIndex,
+        delta_lo: int,
+        stage_start: int,
+        strategy: str = "nested",
     ) -> List[List[Assignment]]:
         """One stage's batch discovery, fanned out and canonically merged.
 
@@ -212,6 +269,10 @@ class ParallelDiscovery:
         :func:`~repro.engine.delta.compiled_delta_matches` loop would have
         produced.  Merge order is fixed by the task list, never by worker
         completion order, so the result is deterministic for any pool size.
+        ``strategy`` travels with the stage message and selects the compiled
+        executor inside each worker (the engine forwards its
+        ``match_strategy``); replica trie/plan caches persist across stages
+        either way.
         """
         if self._conns is None:
             raise RuntimeError("discovery pool is closed")
@@ -220,19 +281,25 @@ class ParallelDiscovery:
         tasks = self._plan_tasks(delta_lo, stage_start)
         worker_count = len(self._conns)
         parts = [tasks[offset::worker_count] for offset in range(worker_count)]
-        for conn, part in zip(self._conns, parts):
-            # Every worker gets the sync slice even when it drew no tasks —
-            # replicas must never fall behind the export stream.
-            conn.send(("run", wire, delta_lo, stage_start, part))
         rows_by_task: Dict[Task, List[Tuple[int, ...]]] = {}
         failure: Optional[str] = None
-        for conn, part in zip(self._conns, parts):
-            reply = conn.recv()
-            if reply[0] == "error":
-                failure = reply[1]
-                continue
-            for task, rows in zip(part, reply[1]):
-                rows_by_task[task] = rows
+        try:
+            for conn, part in zip(self._conns, parts):
+                # Every worker gets the sync slice even when it drew no
+                # tasks — replicas must never fall behind the export stream.
+                conn.send(("run", wire, delta_lo, stage_start, part, strategy))
+            for conn, part in zip(self._conns, parts):
+                reply = conn.recv()
+                if reply[0] == "error":
+                    failure = reply[1]
+                    continue
+                for task, rows in zip(part, reply[1]):
+                    rows_by_task[task] = rows
+        except (BrokenPipeError, EOFError, OSError) as error:
+            # Transport-level death (a worker was killed mid-stage): same
+            # poisoning discipline as the graceful "error" reply below.
+            self.close()
+            raise WorkerError(f"discovery worker went away: {error!r}") from error
         if failure is not None:
             # A failed worker may have applied the slice only partially, and
             # the cursor above has already advanced past it: the replicas

@@ -65,10 +65,71 @@ class SemiNaiveChaseEngine:
     #: into the canonical order, so the run stays bit-identical either way.
     #: The firing pass is always serial — the chase discipline demands it.
     workers: int = 0
+    #: Compiled executor for delta body matching: ``"nested"`` (the
+    #: historical default), ``"hash"``, ``"wcoj"`` (worst-case-optimal
+    #: generic join), or ``"auto"`` (upgrade to WCOJ on cyclic bodies over
+    #: large posting lists).  Discovery enumerates the same match set under
+    #: every strategy, so the chase output is bit-identical regardless.
+    match_strategy: str = "nested"
+    #: The keep-alive discovery pool (:mod:`repro.engine.parallel`): created
+    #: on the first ``run()`` that needs one and **retained across runs** —
+    #: replicas are reset (not respawned) per run, so repeated chases on the
+    #: same engine skip process start-up.  Released by :meth:`close` (or the
+    #: context-manager exit); ``run_chase`` closes the ephemeral engines it
+    #: builds, keeping the one-shot path leak-free as before.
+    _pool: object = field(default=None, init=False, repr=False, compare=False)
+
+    # ------------------------------------------------------------------
+    def close(self) -> None:
+        """Shut the keep-alive discovery pool down (idempotent)."""
+        pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.close()
+
+    def __enter__(self) -> "SemiNaiveChaseEngine":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def _ensure_pool(self):
+        """The pool for the next run: reuse (reset), rebuild, or ``None``."""
+        if not (self.workers and self.workers >= 2 and self.tgds):
+            self.close()
+            return None
+        pool = self._pool
+        if (
+            pool is not None
+            and not pool.closed
+            and pool.workers == self.workers
+            # The worker processes carry the TGD list they were spawned
+            # with, so reuse is only sound while the engine still runs the
+            # very same rule objects — anything else rebuilds the pool.
+            and len(pool.rules) == len(self.tgds)
+            and all(ours is theirs for ours, theirs in zip(self.tgds, pool.rules))
+        ):
+            # Same pool, new run: fresh replicas, same worker processes.
+            pool.reset()
+            return pool
+        self.close()
+        from .parallel import ParallelDiscovery
+
+        self._pool = pool = ParallelDiscovery(self.tgds, self.workers)
+        return pool
 
     # ------------------------------------------------------------------
     def run(self, instance: Structure) -> ChaseResult:
         """Run the chase from *instance* (which is not modified)."""
+        from ..query.compile import STRATEGIES
+
+        if self.match_strategy not in STRATEGIES:
+            # Fail fast and engine-side: a typo must not wait for the first
+            # non-empty delta window (or surface as a remote WorkerError
+            # that poisons the pool mid-stage).
+            raise ValueError(
+                f"unknown match strategy {self.match_strategy!r}; "
+                f"known: {', '.join(STRATEGIES)}"
+            )
         current = instance.copy(
             name=f"chase({instance.name})" if instance.name else "chase"
         )
@@ -86,12 +147,8 @@ class SemiNaiveChaseEngine:
         stage = 0
         reached_fixpoint = False
         delta_lo = 0
-        pool = None
+        pool = self._ensure_pool()
         try:
-            if self.workers and self.workers >= 2 and self.tgds:
-                from .parallel import ParallelDiscovery
-
-                pool = ParallelDiscovery(self.tgds, self.workers)
             while max_stages is None or stage < max_stages:
                 stage += 1
                 stage_start = index.watermark()
@@ -121,8 +178,10 @@ class SemiNaiveChaseEngine:
                         )
                     break
         finally:
-            if pool is not None:
-                pool.close()
+            if pool is not None and pool.closed:
+                # A failed worker poisons (closes) the pool mid-run; drop the
+                # dead reference so the next run builds a fresh one.
+                self._pool = None
             if self.share_index:
                 # Keep the index attached and hand it to the query layer:
                 # the chased structure's first certificate / containment
@@ -168,11 +227,14 @@ class SemiNaiveChaseEngine:
         # of where (or in what order) a match was discovered.
         if pool is not None:
             per_tgd: Iterable[Iterable[Assignment]] = pool.discover(
-                index, delta_lo, stage_start
+                index, delta_lo, stage_start, strategy=self.match_strategy
             )
         else:
             per_tgd = (
-                compiled_delta_matches(tgd, index, delta_lo, stage_start)
+                compiled_delta_matches(
+                    tgd, index, delta_lo, stage_start,
+                    strategy=self.match_strategy,
+                )
                 for tgd in self.tgds
             )
         stage_candidates: List[List[tuple]] = []

@@ -19,9 +19,14 @@ semi-naive chase engine:
 * :mod:`~repro.query.interning` / :mod:`~repro.query.compile` — the
   compiled runtime: terms and predicates interned to dense int IDs, query
   bodies compiled once into register programs (cached per index, validated
-  against the structure's generation counter) and executed either by lazy
-  index-probe nested loops or by a build–probe hash join (``strategy=``,
-  auto-selected for cyclic bodies);
+  against the structure's generation counter) and executed by lazy
+  index-probe nested loops, by a build–probe hash join, or by the
+  worst-case-optimal generic join (``strategy=``, auto-selected per shape);
+* :mod:`~repro.query.wcoj` — the worst-case-optimal executor: sorted column
+  tries cached on the index, deterministic variable-order planning, and
+  bisect-based leapfrog intersection — the executor of choice for cyclic
+  bodies (triangles, cliques, dense spider patterns) where any binary join
+  order can blow up intermediate results;
 * :mod:`~repro.query.evaluator` — the decode layer plus a functional API
   that is a drop-in, differential-tested replacement for
   :mod:`repro.core.homomorphism` — including ``find_isomorphism`` /
@@ -36,6 +41,7 @@ calls into it through function-level imports, so no import cycles arise.
 """
 
 from .compile import (
+    STRATEGIES,
     CompiledQuery,
     PlanCache,
     compile_query,
@@ -46,6 +52,7 @@ from .compile import (
     is_cyclic,
     plan_cache_for,
 )
+from .wcoj import Trie, TrieCache, WcojPlan, build_wcoj_plan, execute_wcoj, trie_cache_for
 from .context import EvalContext, get_context, shared_context
 from .evaluator import (
     all_homomorphisms,
@@ -73,14 +80,20 @@ __all__ = [
     "PlanCache",
     "PlanStep",
     "QueryPlan",
+    "STRATEGIES",
+    "Trie",
+    "TrieCache",
+    "WcojPlan",
     "all_homomorphisms",
     "are_isomorphic",
+    "build_wcoj_plan",
     "compile_query",
     "compiled_for",
     "evaluate",
     "execute",
     "execute_hash",
     "execute_nested",
+    "execute_wcoj",
     "exists_homomorphism",
     "exists_match",
     "extend_match",
@@ -97,4 +110,5 @@ __all__ = [
     "query_holds",
     "query_homomorphisms",
     "shared_context",
+    "trie_cache_for",
 ]

@@ -26,7 +26,7 @@ cache.  Interned IDs embedded in a plan never dangle: the symbol tables are
 append-only, and constants or predicates unseen at compile time are interned
 eagerly so the plan stays valid when matching facts appear later.
 
-**Execution.**  Two executors share the compiled form:
+**Execution.**  Three executors share the compiled form:
 
 * :func:`execute_nested` — depth-first build-as-you-go probing through the
   most selective ``(predicate, position, value)`` posting window, the
@@ -35,12 +35,18 @@ eagerly so the plan stays valid when matching facts appear later.
 * :func:`execute_hash` — breadth-first hash join: per step, one scan of the
   step's posting window builds a table keyed on the already-bound positions,
   and every partial result probes it in O(1).  Selected by ``strategy="auto"``
-  when the body is cyclic (the planner's left-deep order degrades there) or
-  the opening scan is large and unselective.
+  for unselective opening scans on acyclic bodies;
+* :func:`repro.query.wcoj.execute_wcoj` — worst-case-optimal generic join
+  (Leapfrog Triejoin-style): one variable at a time, multiway leapfrog
+  intersection over sorted column tries.  Selected by ``strategy="auto"``
+  for cyclic bodies over large enough posting lists, where *any* binary
+  join order can materialise intermediates asymptotically larger than the
+  output (the AGM bound).
 
-Both executors produce exactly the same solution *set* as the reference
+All executors produce exactly the same solution *set* as the reference
 :class:`~repro.core.homomorphism.HomomorphismProblem`; the differential
-suite in ``tests/test_query_eval.py`` holds all three against each other.
+suites in ``tests/test_query_eval.py`` / ``tests/test_wcoj.py`` hold them
+against each other.
 """
 
 from __future__ import annotations
@@ -86,6 +92,15 @@ GROWTH_FLOOR = 16
 #: ``strategy="auto"`` opens with a hash join when the first step scans an
 #: unbound posting list at least this large (and the body has ≥ 3 atoms).
 HASH_SCAN_THRESHOLD = 128
+
+#: ``strategy="auto"`` upgrades a *cyclic* body to the worst-case-optimal
+#: generic-join executor (:mod:`repro.query.wcoj`) once the largest posting
+#: list it scans reaches this size — below it, the trie-build preamble costs
+#: more than any binary-join blowup could.
+WCOJ_AUTO_THRESHOLD = 64
+
+#: The executor names :func:`execute` accepts.
+STRATEGIES = ("auto", "nested", "hash", "wcoj")
 
 
 class CompiledStep:
@@ -140,11 +155,16 @@ class CompiledQuery:
         "nslots",
         "prebound",
         "outputs",
+        "cyclic",
         "hash_recommended",
+        "wcoj_recommended",
         "_exec_key",
         "_exec_state",
         "_hash_key",
         "_hash_state",
+        "_wcoj_plan",
+        "_wcoj_key",
+        "_wcoj_state",
     )
 
     def __init__(
@@ -154,6 +174,8 @@ class CompiledQuery:
         prebound: Tuple[Tuple[object, int], ...],
         outputs: Tuple[Tuple[object, int], ...],
         hash_recommended: bool,
+        cyclic: bool = False,
+        wcoj_recommended: bool = False,
     ) -> None:
         self.steps = steps
         self.nslots = nslots
@@ -176,7 +198,21 @@ class CompiledQuery:
         self.prebound = prebound
         #: ``(term, slot)`` for terms the execution binds — the decode list.
         self.outputs = outputs
+        #: Whether the variable–atom incidence graph of the body has a cycle
+        #: (the shape where binary join orders can blow up intermediates).
+        self.cyclic = cyclic
         self.hash_recommended = hash_recommended
+        #: ``strategy="auto"`` upgrades to the generic-join executor here.
+        self.wcoj_recommended = wcoj_recommended
+        # The derived worst-case-optimal plan (variable order + per-atom trie
+        # specs) and the per-snapshot trie preamble, both lazily filled by
+        # :mod:`repro.query.wcoj` — the analogues of the nested executor's
+        # ``_exec_*`` pair.  The plan depends only on the compiled form, so
+        # it is computed once; the trie state is keyed by the evaluation
+        # snapshot exactly like ``_exec_key``.
+        self._wcoj_plan = None
+        self._wcoj_key: Optional[tuple] = None
+        self._wcoj_state: Optional[list] = None
 
     def order(self) -> Tuple[Atom, ...]:
         """The planned atom order (mostly for tests and debugging)."""
@@ -366,9 +402,10 @@ def compile_query(
         for _, slot in binds:
             bound_before.add(slot)
 
+    cyclic = len(steps) >= 3 and is_cyclic([atom for atom, _ in ordered])
     hash_recommended = False
     if len(steps) >= 3 and seed is None:
-        if is_cyclic([atom for atom, _ in ordered]):
+        if cyclic:
             hash_recommended = True
         else:
             first = steps[0]
@@ -378,12 +415,20 @@ def compile_query(
                 and first.planned_count >= HASH_SCAN_THRESHOLD
             ):
                 hash_recommended = True
+    # Cyclicity is a property of the body alone, so the generic-join upgrade
+    # applies to seeded (delta-window) compilations too — the engine's
+    # ``match_strategy="auto"`` consults the flag per compiled (body, seed).
+    wcoj_recommended = cyclic and any(
+        step.planned_count >= WCOJ_AUTO_THRESHOLD for step in steps
+    )
     return CompiledQuery(
         steps=tuple(steps),
         nslots=len(slot_of),
         prebound=tuple(prebound),
         outputs=tuple(outputs),
         hash_recommended=hash_recommended,
+        cyclic=cyclic,
+        wcoj_recommended=wcoj_recommended,
     )
 
 
@@ -823,17 +868,27 @@ def execute(
 ) -> Iterator[List[int]]:
     """Run *compiled* with the executor *strategy* selects.
 
-    ``"auto"`` picks the hash join when the planner flagged the shape as
-    degrading for left-deep probing (:attr:`CompiledQuery.hash_recommended`)
-    — unless the caller only wants the first solution, where the lazy
-    nested executor's first root-to-leaf descent is unbeatable.
+    ``"auto"`` picks the worst-case-optimal generic join for cyclic bodies
+    over large enough posting lists (:attr:`CompiledQuery.wcoj_recommended`),
+    the hash join where the planner flagged the shape as degrading for
+    left-deep probing (:attr:`CompiledQuery.hash_recommended`) — unless the
+    caller only wants the first solution, where the lazy nested executor's
+    first root-to-leaf descent is unbeatable — and nested probing otherwise.
+    The strategy name is validated up front, before any executor is chosen,
+    so a typo fails identically regardless of what ``auto`` would have done.
     """
+    if strategy not in STRATEGIES:
+        raise ValueError(
+            f"unknown join strategy {strategy!r}; known: {', '.join(STRATEGIES)}"
+        )
+    if strategy == "wcoj" or (
+        strategy == "auto" and compiled.wcoj_recommended and not first_only
+    ):
+        from .wcoj import execute_wcoj  # function-level: wcoj imports this module
+
+        return execute_wcoj(compiled, index, registers, hi, delta_lo, stage_start)
     if strategy == "hash" or (
         strategy == "auto" and compiled.hash_recommended and not first_only
     ):
         return execute_hash(compiled, index, registers, hi, delta_lo, stage_start)
-    if strategy not in ("auto", "nested", "hash"):
-        raise ValueError(
-            f"unknown join strategy {strategy!r}; known: auto, nested, hash"
-        )
     return execute_nested(compiled, index, registers, hi, delta_lo, stage_start)

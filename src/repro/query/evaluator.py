@@ -291,7 +291,7 @@ def iter_homomorphisms(
     frozen: Iterable[object] = (),
     limit: Optional[int] = None,
     context: Optional[EvalContext] = None,
-    strategy: str = "auto",
+    strategy: Optional[str] = None,
 ) -> Iterator[Assignment]:
     """Yield homomorphisms ``source → target`` through the compiled runtime.
 
@@ -302,15 +302,19 @@ def iter_homomorphisms(
     added to *target* while the generator is being consumed are not seen
     (the reference search snapshots its candidates the same way).
 
-    ``strategy`` selects the join executor: ``"auto"`` (hash join where the
-    planner predicts left-deep probing degrades, nested otherwise),
-    ``"nested"``, or ``"hash"``.
+    ``strategy`` selects the join executor: ``"auto"`` (worst-case-optimal
+    generic join on large cyclic bodies, hash join where the planner
+    predicts left-deep probing degrades, nested otherwise), ``"nested"``,
+    ``"hash"``, or ``"wcoj"``; ``None`` defers to the evaluation context's
+    :attr:`~repro.query.context.EvalContext.default_strategy`.
     """
     atoms = tuple(_source_atoms(source))
     assignment = _initial_assignment(atoms, target, fix, frozen, atoms_key=atoms)
     if assignment is None:
         return
     resolved = get_context(context)
+    if strategy is None:
+        strategy = resolved.default_strategy
     index = resolved.index_for(target)
     hi = index.watermark()
     produced = 0
@@ -335,7 +339,7 @@ def all_homomorphisms(
     fix: Optional[Mapping[object, object]] = None,
     limit: Optional[int] = None,
     context: Optional[EvalContext] = None,
-    strategy: str = "auto",
+    strategy: Optional[str] = None,
 ) -> Iterator[Assignment]:
     """Index-backed drop-in for :func:`repro.core.homomorphism.all_homomorphisms`."""
     return iter_homomorphisms(

@@ -1,0 +1,134 @@
+"""Global variable-order planning for the generic-join executor.
+
+Generic join does not order *atoms* — it orders *variables*: the executor
+resolves one variable per level by intersecting, across every atom the
+variable occurs in, the sorted values that extend the current prefix.  The
+worst-case-optimality guarantee (Ngo–Porat–Ré–Rudra / Veldhuizen) holds for
+any total order, so the order is purely a constant-factor heuristic; what it
+must get right is *determinism* (plans are cached and shared across
+processes) and *consistency* (every atom's trie columns must be permuted
+into the global order, or prefix ranges would not be contiguous).
+
+The order chosen here is most-constrained-first over the variable–atom
+incidence graph, honouring the bound positions of the compiled register
+program:
+
+1. **pre-bound slots first** (``fix`` / frozen / frontier images): their
+   value is known before execution, so each costs one seek per incident
+   atom instead of an iteration level;
+2. then, preferring variables **connected** to already-ordered ones (so
+   every level after the first actually narrows ranges), the variable with
+   the **highest atom incidence** — the one most intersections constrain —
+   breaking ties towards the smallest planning-time posting list and
+   finally the slot number (fully deterministic).
+
+The plan also rewrites each :class:`~repro.query.compile.CompiledStep` into
+a :data:`~repro.query.wcoj.trie.TrieSpec` — the per-atom column permutation
+plus constant/equality filters the trie cache keys on — and the per-level
+participant lists ``(atom, trie column)`` the executor intersects.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Tuple
+
+from .trie import TrieSpec
+
+if TYPE_CHECKING:
+    from ..compile import CompiledQuery
+
+
+class WcojPlan:
+    """The derived generic-join form of one :class:`CompiledQuery`.
+
+    ``levels`` holds one ``(slot, prebound, participants)`` triple per
+    variable in execution order, where ``participants`` are ``(atom index,
+    trie column)`` pairs; ``atom_specs`` holds one :data:`TrieSpec` per
+    compiled step, aligned with ``CompiledQuery.steps`` so the executor can
+    zip them with the per-step stamp windows.
+    """
+
+    __slots__ = ("levels", "atom_specs")
+
+    def __init__(
+        self,
+        levels: Tuple[Tuple[int, bool, Tuple[Tuple[int, int], ...]], ...],
+        atom_specs: Tuple[TrieSpec, ...],
+    ) -> None:
+        self.levels = levels
+        self.atom_specs = atom_specs
+
+
+def _step_shape(step) -> Tuple[Dict[int, int], Tuple[Tuple[int, int], ...]]:
+    """``(slot → representative position, equality pairs)`` of one step.
+
+    The representative position of a slot is its first occurrence in the
+    atom (a ``BIND`` position, or the first ``CHECK_SLOT`` of a slot bound
+    by an earlier step / pre-binding); every further occurrence becomes an
+    in-row equality against the representative, joining the within-atom
+    repeats the compiler already recorded in ``sames``.
+    """
+    slot_position: Dict[int, int] = {}
+    eqs: List[Tuple[int, int]] = list(step.sames)
+    for position, slot in step.binds:
+        slot_position[slot] = position
+    for position, slot in step.joins:
+        representative = slot_position.get(slot)
+        if representative is None:
+            slot_position[slot] = position
+        else:
+            eqs.append((position, representative))
+    return slot_position, tuple(sorted(eqs))
+
+
+def build_wcoj_plan(compiled: "CompiledQuery") -> WcojPlan:
+    """Derive the variable order and trie specs of *compiled* (pure)."""
+    steps = compiled.steps
+    shapes = [_step_shape(step) for step in steps]
+    incidence: Dict[int, List[int]] = {}
+    for atom_index, (slot_position, _) in enumerate(shapes):
+        for slot in slot_position:
+            incidence.setdefault(slot, []).append(atom_index)
+
+    prebound = sorted(slot for _, slot in compiled.prebound if slot in incidence)
+    prebound_set = set(prebound)
+    ordered: List[int] = list(prebound)
+    chosen = set(ordered)
+    free = sorted(slot for slot in incidence if slot not in chosen)
+    while free:
+        if chosen:
+            connected = [
+                slot
+                for slot in free
+                if any(
+                    not chosen.isdisjoint(shapes[atom_index][0])
+                    for atom_index in incidence[slot]
+                )
+            ]
+        else:
+            connected = []
+        pool = connected or free
+
+        def rank(slot: int) -> Tuple[int, int, int]:
+            atoms = incidence[slot]
+            smallest = min(steps[atom_index].planned_count for atom_index in atoms)
+            return (-len(atoms), smallest, slot)
+
+        best = min(pool, key=rank)
+        free.remove(best)
+        ordered.append(best)
+        chosen.add(best)
+
+    order_rank = {slot: level for level, slot in enumerate(ordered)}
+    participants: Dict[int, List[Tuple[int, int]]] = {slot: [] for slot in ordered}
+    atom_specs: List[TrieSpec] = []
+    for atom_index, (step, (slot_position, eqs)) in enumerate(zip(steps, shapes)):
+        columns = sorted(slot_position, key=order_rank.__getitem__)
+        perm = tuple(slot_position[slot] for slot in columns)
+        for column, slot in enumerate(columns):
+            participants[slot].append((atom_index, column))
+        atom_specs.append((step.pred_id, perm, step.consts, eqs))
+    levels = tuple(
+        (slot, slot in prebound_set, tuple(participants[slot])) for slot in ordered
+    )
+    return WcojPlan(levels=levels, atom_specs=tuple(atom_specs))

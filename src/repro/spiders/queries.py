@@ -155,7 +155,7 @@ def spider_query_matches(
     prefix: str = "s",
     limit: Optional[int] = None,
     context=None,
-    strategy: str = "auto",
+    strategy: Optional[str] = None,
 ) -> Iterator[Dict[object, object]]:
     """Matches of the body of ``f^I_J`` in *structure*, planned and indexed.
 

@@ -277,3 +277,127 @@ def test_make_engine_threads_workers_through():
     assert make_engine(configured, TGDS, workers=0).workers == 0  # explicit off
     with pytest.raises(ValueError):
         make_engine("reference", TGDS, workers=2)
+
+
+def test_keep_alive_pool_is_reused_across_runs_with_replica_resync():
+    """PR-5 keep-alive: one engine, one pool, many chases.
+
+    The pool (and its worker processes) must survive across ``run()`` calls
+    on the same engine — replicas are *reset* and re-synced against each
+    run's fresh index, never left tracking a dead export stream — and every
+    run must stay bit-identical to a serial run of the same workload.
+    """
+    tgds = parse_tgds("R(x,y), R(y,z) -> S(x,z)", "S(x,y), R(y,z) -> S(x,z)")
+    first = structure_from_text(", ".join(f"R({i},{i + 1})" for i in range(12)))
+    second = structure_from_text(
+        ", ".join(f"R(b{i},b{i + 1})" for i in range(9)) + ", R(b9,b0)"
+    )
+    with SemiNaiveChaseEngine(tgds=list(tgds), max_stages=50, max_atoms=50_000,
+                              workers=2) as engine:
+        result_one = engine.run(first)
+        pool = engine._pool
+        assert pool is not None and not pool.closed
+        result_two = engine.run(second)
+        assert engine._pool is pool, "pool must be retained across runs"
+        assert not pool.closed
+        # A third run on the *first* workload again: replicas were re-bound
+        # twice by now, so any cursor leakage would corrupt this one.
+        result_three = engine.run(first)
+        assert engine._pool is pool
+    assert pool.closed, "context-manager exit must close the pool"
+    assert engine._pool is None
+    for result, instance in ((result_one, first), (result_two, second),
+                             (result_three, first)):
+        serial = run_chase(tgds, instance, 50, 50_000)
+        assert result.structure.atoms() == serial.structure.atoms()
+        assert result.structure.domain() == serial.structure.domain()
+        assert len(result.provenance) == len(serial.provenance)
+        for expected, produced in zip(serial.provenance, result.provenance):
+            assert produced.trigger == expected.trigger
+            assert produced.new_atoms == expected.new_atoms
+    # close() is idempotent, and a closed engine simply rebuilds on demand.
+    engine.close()
+    rebuilt = engine.run(first)
+    assert engine._pool is not None and not engine._pool.closed
+    assert rebuilt.structure.atoms() == result_one.structure.atoms()
+    engine.close()
+
+
+def test_run_chase_closes_its_ephemeral_engine_pool():
+    tgds = parse_tgds("R(x,y), R(y,z) -> S(x,z)")
+    instance = structure_from_text(", ".join(f"R({i},{i + 1})" for i in range(8)))
+    engine = make_engine(None, tgds, max_stages=10, max_atoms=10_000, workers=2)
+    result = engine.run(instance)
+    assert engine._pool is not None and not engine._pool.closed
+    engine.close()
+    # The one-shot path (run_chase) must not leak worker processes: it closes
+    # the resolved engine in a finally, keep-alive or not.
+    import multiprocessing
+
+    before = len(multiprocessing.active_children())
+    run_chase(tgds, instance, 10, 10_000, workers=2)
+    assert len(multiprocessing.active_children()) <= before
+    assert result.reached_fixpoint
+
+
+def test_pool_reset_rejected_after_close():
+    pool = ParallelDiscovery(list(TGDS), 2)
+    pool.close()
+    with pytest.raises(RuntimeError):
+        pool.reset()
+
+
+def test_keep_alive_pool_is_rebuilt_when_the_rule_set_changes():
+    # The worker processes carry the TGD list they were spawned with, so
+    # mutating engine.tgds between runs must rebuild the pool — reusing it
+    # would discover against the old rules and silently diverge from serial.
+    rules_a = parse_tgds("R(x,y), R(y,z) -> S(x,z)")
+    rules_b = parse_tgds("R(x,y) -> T(y,x)")
+    instance = structure_from_text(", ".join(f"R({i},{i + 1})" for i in range(10)))
+    with SemiNaiveChaseEngine(tgds=list(rules_a), max_stages=20,
+                              max_atoms=10_000, workers=2) as engine:
+        engine.run(instance)
+        old_pool = engine._pool
+        engine.tgds = list(rules_b)
+        result = engine.run(instance)
+        assert engine._pool is not old_pool, "stale pool must not be reused"
+        assert old_pool.closed
+        serial = run_chase(rules_b, instance, 20, 10_000)
+        assert result.structure.atoms() == serial.structure.atoms()
+
+
+def test_engine_rejects_unknown_match_strategy_up_front():
+    tgds = parse_tgds("R(x,y) -> S(y,x)")
+    # An instance whose delta seeds nothing: lazy validation would let the
+    # typo slip through entirely (and workers=2 would surface it as a
+    # pool-poisoning WorkerError instead).
+    instance = structure_from_text("P(a)")
+    for workers in (0, 2):
+        with pytest.raises(ValueError, match="wcjo"):
+            run_chase(tgds, instance, 5, 100, workers=workers,
+                      match_strategy="wcjo")
+
+
+def test_keep_alive_engine_recovers_after_abrupt_worker_death():
+    # Transport-level death (SIGKILL/OOM, not a clean "error" reply) must
+    # poison the pool so the next run() rebuilds instead of raising
+    # BrokenPipeError off a dead pipe forever.
+    from repro.engine.parallel import WorkerError
+
+    tgds = parse_tgds("R(x,y), R(y,z) -> S(x,z)")
+    instance = structure_from_text(", ".join(f"R({i},{i + 1})" for i in range(10)))
+    serial = run_chase(tgds, instance, 20, 10_000)
+    with SemiNaiveChaseEngine(tgds=list(tgds), max_stages=20,
+                              max_atoms=10_000, workers=2) as engine:
+        engine.run(instance)
+        crashed = engine._pool
+        for process in crashed._processes:
+            process.kill()
+            process.join()
+        with pytest.raises(WorkerError):
+            engine.run(instance)
+        assert crashed.closed, "transport failure must poison the pool"
+        # Self-healed: the next run builds a fresh pool and matches serial.
+        recovered = engine.run(instance)
+        assert engine._pool is not crashed and not engine._pool.closed
+        assert recovered.structure.atoms() == serial.structure.atoms()
