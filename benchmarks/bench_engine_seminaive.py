@@ -12,13 +12,14 @@ largest compared configuration (in practice it is two orders of magnitude).
 """
 
 import json
-import time
 
 import pytest
 
 from repro.chase import chase, parse_tgds
 from repro.core.builders import structure_from_text
 from repro.engine import run_chase
+from repro.engine.seminaive import SemiNaiveChaseEngine
+from repro.obs import peak_rss_kb, stopwatch
 from repro.separating.t_infinity import t_infinity_rules
 from repro.greengraph.graph import initial_graph
 
@@ -46,9 +47,9 @@ def test_engine_trajectory_on_chains(benchmark, length, compare, report_lines):
     instance = _chain_instance(length)
     result = benchmark(run_chase, tgds, instance, 200, 500_000)
     assert result.reached_fixpoint
-    started = time.perf_counter()
-    seminaive_result = run_chase(tgds, instance, 200, 500_000)
-    seminaive_seconds = time.perf_counter() - started
+    with stopwatch() as sw:
+        seminaive_result = run_chase(tgds, instance, 200, 500_000)
+    seminaive_seconds = sw.seconds
     row = {
         "experiment": "E16",
         "workload": "transitive-closure-chain",
@@ -56,11 +57,12 @@ def test_engine_trajectory_on_chains(benchmark, length, compare, report_lines):
         "stages": seminaive_result.stages_run,
         "atoms": len(seminaive_result.structure.atoms()),
         "seminaive_seconds": round(seminaive_seconds, 6),
+        "peak_rss_kb": peak_rss_kb(),
     }
     if compare:
-        started = time.perf_counter()
-        reference_result = chase(tgds, instance, 200, 500_000)
-        reference_seconds = time.perf_counter() - started
+        with stopwatch() as sw:
+            reference_result = chase(tgds, instance, 200, 500_000)
+        reference_seconds = sw.seconds
         assert (
             reference_result.structure.atoms()
             == seminaive_result.structure.atoms()
@@ -80,12 +82,12 @@ def test_engine_trajectory_on_figure1(benchmark, report_lines):
     instance = initial_graph().structure()
     stages = 60
     result = benchmark(run_chase, tgds, instance, stages, 100_000)
-    started = time.perf_counter()
-    seminaive_result = run_chase(tgds, instance, stages, 100_000)
-    seminaive_seconds = time.perf_counter() - started
-    started = time.perf_counter()
-    reference_result = chase(tgds, instance, stages, 100_000)
-    reference_seconds = time.perf_counter() - started
+    with stopwatch() as sw:
+        seminaive_result = run_chase(tgds, instance, stages, 100_000)
+    seminaive_seconds = sw.seconds
+    with stopwatch() as sw:
+        reference_result = chase(tgds, instance, stages, 100_000)
+    reference_seconds = sw.seconds
     assert reference_result.structure.atoms() == seminaive_result.structure.atoms()
     report_lines(
         json.dumps(
@@ -99,6 +101,55 @@ def test_engine_trajectory_on_figure1(benchmark, report_lines):
                 "speedup": round(
                     reference_seconds / max(seminaive_seconds, 1e-9), 2
                 ),
+                "peak_rss_kb": peak_rss_kb(),
             }
         )
     )
+
+
+#: The telemetry-overhead acceptance bar (ISSUE 6): with instrumentation
+#: disabled (no tracer, no metrics registry — the process default), default
+#: per-run stats collection must cost at most 5% over the bare
+#: ``collect_stats=False`` path on the chain-40 chase, plus a small absolute
+#: epsilon so a sub-10ms workload cannot fail on scheduler noise alone.
+OVERHEAD_FACTOR = 1.05
+OVERHEAD_EPSILON_SECONDS = 0.005
+OVERHEAD_ROUNDS = 5
+
+
+@pytest.mark.experiment("E16")
+def test_stats_collection_overhead_on_chain40(report_lines):
+    """Best-of-N chain-40 chase, stats on vs off — asserts the ≤5% bar."""
+    tgds = parse_tgds(*_TC_RULES)
+    instance = _chain_instance(40)
+
+    def best_of(collect_stats: bool) -> float:
+        best = float("inf")
+        for _ in range(OVERHEAD_ROUNDS):
+            engine = SemiNaiveChaseEngine(
+                tgds, max_stages=200, max_atoms=500_000,
+                collect_stats=collect_stats,
+            )
+            with stopwatch() as sw:
+                result = engine.run(instance)
+            assert result.reached_fixpoint
+            best = min(best, sw.seconds)
+        return best
+
+    baseline = best_of(False)   # the pre-telemetry hot path
+    instrumented = best_of(True)  # the default: stats on, obs disabled
+    report_lines(
+        json.dumps(
+            {
+                "experiment": "E16",
+                "workload": "stats-overhead-chain-40",
+                "baseline_seconds": round(baseline, 6),
+                "instrumented_seconds": round(instrumented, 6),
+                "overhead_ratio": round(
+                    instrumented / max(baseline, 1e-9), 4
+                ),
+                "peak_rss_kb": peak_rss_kb(),
+            }
+        )
+    )
+    assert instrumented <= baseline * OVERHEAD_FACTOR + OVERHEAD_EPSILON_SECONDS

@@ -15,11 +15,11 @@ index the semi-naive engine donated (no rebuild).
 """
 
 import json
-import time
 
 import pytest
 
 import repro.query as q
+from repro.obs import CLOCK, peak_rss_kb
 from repro.chase import parse_tgds
 from repro.core.atoms import Atom
 from repro.core.builders import parse_cq, structure_from_text
@@ -84,16 +84,16 @@ def test_query_eval_trajectory_on_determinacy_structures(
         ]
 
     benchmark(planned_matches)
-    started = time.perf_counter()
+    started = CLOCK()
     planned = planned_matches()
-    planned_seconds = time.perf_counter() - started
-    started = time.perf_counter()
+    planned_seconds = CLOCK() - started
+    started = CLOCK()
     reference = [
         match
         for tgd in tgds
         for match in HomomorphismProblem(list(tgd.body), chased).solutions()
     ]
-    reference_seconds = time.perf_counter() - started
+    reference_seconds = CLOCK() - started
     # Differential proof: identical homomorphism sets, not just counts.
     assert _canonical(planned) == _canonical(reference)
     speedup = reference_seconds / max(planned_seconds, 1e-9)
@@ -109,6 +109,7 @@ def test_query_eval_trajectory_on_determinacy_structures(
                 "planned_seconds": round(planned_seconds, 6),
                 "reference_seconds": round(reference_seconds, 6),
                 "speedup": round(speedup, 2),
+                "peak_rss_kb": peak_rss_kb(),
             }
         )
     )
@@ -143,14 +144,14 @@ def test_certificate_check_reuses_chased_index(benchmark, report_lines):
         return next(q.all_homomorphisms(atoms, chased, fix=fix, limit=1), None)
 
     witness = benchmark(planned_check)
-    started = time.perf_counter()
+    started = CLOCK()
     witness = planned_check()
-    planned_seconds = time.perf_counter() - started
-    started = time.perf_counter()
+    planned_seconds = CLOCK() - started
+    started = CLOCK()
     reference = next(
         HomomorphismProblem(atoms, chased, fix=fix).solutions(limit=1), None
     )
-    reference_seconds = time.perf_counter() - started
+    reference_seconds = CLOCK() - started
     assert (witness is None) == (reference is None)
     assert q.shared_context.indexes_built == built_before, "index was rebuilt"
     assert q.shared_context.peek(chased) is donated
@@ -167,6 +168,7 @@ def test_certificate_check_reuses_chased_index(benchmark, report_lines):
                 "planned_seconds": round(planned_seconds, 6),
                 "reference_seconds": round(reference_seconds, 6),
                 "speedup": round(reference_seconds / max(planned_seconds, 1e-9), 2),
+                "peak_rss_kb": peak_rss_kb(),
             }
         )
     )
@@ -212,12 +214,12 @@ def test_plan_cache_repeated_reevaluation(benchmark, report_lines):
 
     compiled_rounds()  # warm the plan cache before timing
     benchmark(compiled_rounds)
-    started = time.perf_counter()
+    started = CLOCK()
     compiled_rounds()
-    compiled_seconds = time.perf_counter() - started
-    started = time.perf_counter()
+    compiled_seconds = CLOCK() - started
+    started = CLOCK()
     baseline_rounds()
-    baseline_seconds = time.perf_counter() - started
+    baseline_seconds = CLOCK() - started
     speedup = baseline_seconds / max(compiled_seconds, 1e-9)
     report_lines(
         json.dumps(
@@ -230,6 +232,7 @@ def test_plan_cache_repeated_reevaluation(benchmark, report_lines):
                 "compiled_seconds": round(compiled_seconds, 6),
                 "replan_seconds": round(baseline_seconds, 6),
                 "speedup": round(speedup, 2),
+                "peak_rss_kb": peak_rss_kb(),
             }
         )
     )
@@ -267,14 +270,14 @@ def test_hash_join_beats_greedy_on_cyclic_body(benchmark, report_lines):
         )
 
     benchmark(hash_triangles)
-    started = time.perf_counter()
+    started = CLOCK()
     hashed = hash_triangles()
-    hash_seconds = time.perf_counter() - started
-    started = time.perf_counter()
+    hash_seconds = CLOCK() - started
+    started = CLOCK()
     nested = list(
         q.all_homomorphisms(triangle, target, context=context, strategy="nested")
     )
-    nested_seconds = time.perf_counter() - started
+    nested_seconds = CLOCK() - started
     reference = list(HomomorphismProblem(triangle, target).solutions())
     assert _canonical(hashed) == _canonical(nested) == _canonical(reference)
     report_lines(
@@ -288,6 +291,7 @@ def test_hash_join_beats_greedy_on_cyclic_body(benchmark, report_lines):
                 "hash_seconds": round(hash_seconds, 6),
                 "nested_seconds": round(nested_seconds, 6),
                 "speedup": round(nested_seconds / max(hash_seconds, 1e-9), 2),
+                "peak_rss_kb": peak_rss_kb(),
             }
         )
     )
@@ -321,12 +325,12 @@ def test_spider_query_matching(benchmark, report_lines):
         return list(spider_query_matches(universe, spec, corpus))
 
     benchmark(planned_matches)
-    started = time.perf_counter()
+    started = CLOCK()
     planned = planned_matches()
-    planned_seconds = time.perf_counter() - started
-    started = time.perf_counter()
+    planned_seconds = CLOCK() - started
+    started = CLOCK()
     reference = list(HomomorphismProblem(list(body.atoms), corpus).solutions())
-    reference_seconds = time.perf_counter() - started
+    reference_seconds = CLOCK() - started
     assert _canonical(planned) == _canonical(reference)
     report_lines(
         json.dumps(
@@ -339,6 +343,7 @@ def test_spider_query_matching(benchmark, report_lines):
                 "planned_seconds": round(planned_seconds, 6),
                 "reference_seconds": round(reference_seconds, 6),
                 "speedup": round(reference_seconds / max(planned_seconds, 1e-9), 2),
+                "peak_rss_kb": peak_rss_kb(),
             }
         )
     )

@@ -25,7 +25,6 @@ with the solution sets asserted identical:
 
 import json
 import random
-import time
 
 import pytest
 
@@ -34,6 +33,7 @@ from repro.core.atoms import Atom
 from repro.core.homomorphism import HomomorphismProblem
 from repro.core.structure import Structure
 from repro.core.terms import Variable
+from repro.obs import CLOCK, peak_rss_kb
 
 #: WCOJ must beat the hash join by this factor on the densest hub config.
 MIN_WCOJ_SPEEDUP = 2.0
@@ -90,11 +90,11 @@ def _timed_solutions(body, target, strategy):
     """(seconds, canonical solution set) on a per-strategy fresh context."""
     context = q.EvalContext()
     list(q.all_homomorphisms(body, target, context=context, strategy=strategy))
-    started = time.perf_counter()
+    started = CLOCK()
     solutions = list(
         q.all_homomorphisms(body, target, context=context, strategy=strategy)
     )
-    return time.perf_counter() - started, _canonical(solutions)
+    return CLOCK() - started, _canonical(solutions)
 
 
 def _row(workload, body, target, report_lines, oracle_check=False, **extra):
@@ -123,6 +123,7 @@ def _row(workload, body, target, report_lines, oracle_check=False, **extra):
         "wcoj_vs_nested": round(
             timings["nested"] / max(timings["wcoj"], 1e-9), 2
         ),
+        "peak_rss_kb": peak_rss_kb(),
     }
     report_lines(json.dumps(row))
     return speedup_vs_hash

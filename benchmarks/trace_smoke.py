@@ -1,0 +1,84 @@
+"""Instrumented chase smoke: trace a chain chase, then audit the trace.
+
+Run directly (CI's bench-smoke job does, uploading the trace as an artifact):
+
+    PYTHONPATH=src python benchmarks/trace_smoke.py [trace.jsonl]
+
+The script enables tracing and metrics, chases the transitive closure of a
+chain, then closes the trace and checks it from the *outside* — the
+summarizer's per-stage counts folded out of the JSONL file must equal both
+the :class:`~repro.obs.report.ChaseRunStats` attached to the result and the
+chase report itself (``len(result.provenance)`` fired triggers).  A span
+left unclosed, a stage line dropped, or a count drifting between the three
+ledgers fails the job.
+"""
+
+import sys
+
+from repro.chase import parse_tgds
+from repro.core.builders import structure_from_text
+from repro.engine import run_chase
+from repro.obs import (
+    disable,
+    disable_tracing,
+    enable,
+    enable_tracing,
+    snapshot,
+    summarize_trace,
+)
+
+CHAIN_LENGTH = 40
+RULES = ("R(x,y), R(y,z) -> S(x,z)", "S(x,y), R(y,z) -> S(x,z)")
+
+
+def main(trace_path: str = "chase-trace.jsonl") -> int:
+    tgds = parse_tgds(*RULES)
+    instance = structure_from_text(
+        ", ".join(f"R({i},{i + 1})" for i in range(CHAIN_LENGTH))
+    )
+    enable()
+    enable_tracing(trace_path)
+    try:
+        result = run_chase(tgds, instance, 200, 500_000)
+        metrics = snapshot()
+    finally:
+        disable_tracing()
+        disable()
+
+    assert result.reached_fixpoint
+    stats = result.stats
+    assert stats is not None, "instrumented run must attach ChaseRunStats"
+    summary = summarize_trace(trace_path)
+
+    fired = len(result.provenance)
+    checks = {
+        "summarizer fired": (summary.fired, fired),
+        "stats fired": (stats.fired, fired),
+        "metrics fired": (metrics["engine.triggers_fired"], fired),
+        "summarizer stages": (summary.stages, stats.stages_run),
+        "summarizer new_atoms": (summary.new_atoms, stats.new_atoms),
+        "summarizer candidates": (summary.candidates, stats.candidates),
+        "summarizer nulls": (summary.nulls_created, stats.nulls_created),
+        "trace well-formed": (summary.malformed, 0),
+    }
+    failures = [
+        f"{label}: {got!r} != {want!r}"
+        for label, (got, want) in checks.items()
+        if got != want
+    ]
+
+    print(summary.render())
+    print()
+    print(stats.render())
+    if failures:
+        print("\nTRACE AUDIT FAILED:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    print(f"\ntrace audit OK: {fired} fired triggers accounted for in "
+          f"{summary.lines} trace lines -> {trace_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(*sys.argv[1:2]))

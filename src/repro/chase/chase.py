@@ -52,6 +52,9 @@ class ChaseResult:
     stages_run: int
     stage_snapshots: List[Structure] = field(default_factory=list)
     provenance: ChaseProvenance = field(default_factory=ChaseProvenance)
+    #: Per-run accounting (:class:`repro.obs.report.ChaseRunStats`) attached
+    #: by engines that collect it; ``None`` for the reference engine.
+    stats: Optional[object] = None
 
     # ------------------------------------------------------------------
     @property

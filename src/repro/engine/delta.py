@@ -25,6 +25,7 @@ from ..chase.tgd import TGD
 from ..chase.trigger import frontier_key
 from ..core.atoms import Atom
 from ..core.terms import is_rigid
+from ..obs.metrics import active as _metrics_active
 from ..query.compile import STRATEGIES, compiled_for, execute_hash, execute_nested
 from ..query.evaluator import exists_match, extend_match
 from ..query.wcoj import execute_wcoj
@@ -222,14 +223,24 @@ def iter_encoded_matches(
     window_lo = delta_lo if seed_lo is None else seed_lo
     window_hi = stage_start if seed_hi is None else seed_hi
     interner = index.interner
+    # One fetch per (TGD, stage) enumeration; counters separate the seed
+    # positions actually enumerated from the ones the empty-delta pre-check
+    # discards — the number EXPLAIN-style tuning of batch discovery needs.
+    registry = _metrics_active()
     for seed in range(len(body)):
         pid = interner.predicate_id(body[seed].predicate)
         posting = index.posting(pid)
         if posting is None:
+            if registry is not None:
+                registry.counter("delta.seeds_skipped").inc()
             continue
         start, stop = posting.bounds(window_lo, window_hi)
         if start >= stop:
+            if registry is not None:
+                registry.counter("delta.seeds_skipped").inc()
             continue  # no delta atoms can seed at this position
+        if registry is not None:
+            registry.counter("delta.seeds_enumerated").inc()
         compiled = compiled_for(index, body, frozenset(), seed=seed)
         slot_of = dict(compiled.outputs)
         order = tuple(slot_of[term] for term in layout)

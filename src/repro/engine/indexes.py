@@ -248,6 +248,15 @@ class AtomIndex(StructureListener):
     def atom_removed(self, atom: Atom) -> None:
         self.rebuilds += 1
         self._reload()
+        # Rebuilds are rare (atom removal only), so this is one of the few
+        # always-checked trace sites outside the engine's per-stage spans.
+        from ..obs.trace import get_tracer
+
+        tracer = get_tracer()
+        if tracer is not None:
+            tracer.event(
+                "index.rebuild", rebuilds=self.rebuilds, watermark=self._seq
+            )
 
     def _insert(self, atom: Atom) -> None:
         stamp = self._seq
@@ -374,6 +383,24 @@ class AtomIndex(StructureListener):
     def generation(self) -> Tuple[int, int]:
         """``(rebuilds, watermark)`` — changes iff the indexed content did."""
         return (self.rebuilds, self._seq)
+
+    def stats(self) -> Dict[str, int]:
+        """Read-at-report-time shape of the index (for :mod:`repro.obs`).
+
+        Everything here is already maintained for other reasons — the
+        telemetry layer reads it once per run instead of counting inserts.
+        """
+        return {
+            "watermark": self._seq,
+            "rebuilds": self.rebuilds,
+            "predicates": self._interner.predicate_count(),
+            "terms": self._interner.term_count(),
+            "posting_lists": len(self._by_predicate),
+            "position_keys": len(self._by_position),
+            "atoms_indexed": sum(
+                len(posting.stamps) for posting in self._by_predicate.values()
+            ),
+        }
 
     # ------------------------------------------------------------------
     # Object-level queries (interpreted paths, engine, tests)

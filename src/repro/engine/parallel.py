@@ -51,6 +51,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..chase.tgd import TGD
 from ..core.terms import is_rigid
+from ..obs.trace import NULL_SPAN, get_tracer
 from .delta import Assignment, assignment_layout, iter_encoded_matches
 from .indexes import AtomIndex, WireCursor
 
@@ -84,6 +85,17 @@ def _worker_main(conn, tgds: Sequence[TGD]) -> None:
     ``("ok", rows_per_task)`` aligned with the incoming task list, or
     ``("error", traceback_text)``.
     """
+    # Telemetry is process-local by contract: a fork-started worker inherits
+    # the parent's module globals, including an active tracer whose file
+    # descriptor it shares — writing through it would interleave (and its
+    # exit-time flush duplicate) trace lines.  Null the globals instead of
+    # calling the disable functions: disabling would close/flush the parent's
+    # inherited file object from the child.
+    from ..obs import metrics as _obs_metrics
+    from ..obs import trace as _obs_trace
+
+    _obs_trace._TRACER = None
+    _obs_metrics._ACTIVE = None
     replica = AtomIndex()
     layouts = [assignment_layout(tgd) for tgd in tgds]
     try:
@@ -276,47 +288,83 @@ class ParallelDiscovery:
         """
         if self._conns is None:
             raise RuntimeError("discovery pool is closed")
-        self._preintern(index)
-        wire, self._cursor = index.export_slice(self._cursor)
-        tasks = self._plan_tasks(delta_lo, stage_start)
-        worker_count = len(self._conns)
-        parts = [tasks[offset::worker_count] for offset in range(worker_count)]
-        rows_by_task: Dict[Task, List[Tuple[int, ...]]] = {}
-        failure: Optional[str] = None
-        try:
-            for conn, part in zip(self._conns, parts):
-                # Every worker gets the sync slice even when it drew no
-                # tasks — replicas must never fall behind the export stream.
-                conn.send(("run", wire, delta_lo, stage_start, part, strategy))
-            for conn, part in zip(self._conns, parts):
-                reply = conn.recv()
-                if reply[0] == "error":
-                    failure = reply[1]
-                    continue
-                for task, rows in zip(part, reply[1]):
-                    rows_by_task[task] = rows
-        except (BrokenPipeError, EOFError, OSError) as error:
-            # Transport-level death (a worker was killed mid-stage): same
-            # poisoning discipline as the graceful "error" reply below.
-            self.close()
-            raise WorkerError(f"discovery worker went away: {error!r}") from error
-        if failure is not None:
-            # A failed worker may have applied the slice only partially, and
-            # the cursor above has already advanced past it: the replicas
-            # can no longer be trusted to match the export stream.  Poison
-            # the pool so a caller that catches the error cannot keep using
-            # silently-desynced replicas.
-            self.close()
-            raise WorkerError(f"discovery worker failed:\n{failure}")
-        term = index.interner.term
-        results: List[List[Assignment]] = [[] for _ in self._tgds]
-        for task in tasks:
-            layout = self._layouts[task[0]]
-            bucket = results[task[0]]
-            for row in rows_by_task[task]:
-                bucket.append(
-                    {variable: term(vid) for variable, vid in zip(layout, row)}
-                )
+        tracer = get_tracer()
+        span = (
+            tracer.span(
+                "parallel.discover",
+                workers=len(self._conns),
+                delta_lo=delta_lo,
+                stage_start=stage_start,
+            )
+            if tracer is not None
+            else NULL_SPAN
+        )
+        with span:
+            self._preintern(index)
+            wire, self._cursor = index.export_slice(self._cursor)
+            tasks = self._plan_tasks(delta_lo, stage_start)
+            worker_count = len(self._conns)
+            parts = [
+                tasks[offset::worker_count] for offset in range(worker_count)
+            ]
+            wire_bytes = 0
+            if tracer is not None:
+                # Priced only while tracing: the engine never serialises the
+                # slice itself (each pipe send does), so this pickle exists
+                # purely to tag the worker events with a byte count.
+                import pickle
+
+                wire_bytes = 0 if wire is None else len(pickle.dumps(wire))
+            rows_by_task: Dict[Task, List[Tuple[int, ...]]] = {}
+            failure: Optional[str] = None
+            try:
+                for worker_id, (conn, part) in enumerate(zip(self._conns, parts)):
+                    # Every worker gets the sync slice even when it drew no
+                    # tasks — replicas must never fall behind the export
+                    # stream.
+                    conn.send(("run", wire, delta_lo, stage_start, part, strategy))
+                    if tracer is not None:
+                        tracer.event(
+                            "parallel.worker",
+                            worker=worker_id,
+                            tasks=len(part),
+                            wire_bytes=wire_bytes,
+                        )
+                for conn, part in zip(self._conns, parts):
+                    reply = conn.recv()
+                    if reply[0] == "error":
+                        failure = reply[1]
+                        continue
+                    for task, rows in zip(part, reply[1]):
+                        rows_by_task[task] = rows
+            except (BrokenPipeError, EOFError, OSError) as error:
+                # Transport-level death (a worker was killed mid-stage): same
+                # poisoning discipline as the graceful "error" reply below.
+                self.close()
+                raise WorkerError(
+                    f"discovery worker went away: {error!r}"
+                ) from error
+            if failure is not None:
+                # A failed worker may have applied the slice only partially,
+                # and the cursor above has already advanced past it: the
+                # replicas can no longer be trusted to match the export
+                # stream.  Poison the pool so a caller that catches the error
+                # cannot keep using silently-desynced replicas.
+                self.close()
+                raise WorkerError(f"discovery worker failed:\n{failure}")
+            term = index.interner.term
+            results: List[List[Assignment]] = [[] for _ in self._tgds]
+            for task in tasks:
+                layout = self._layouts[task[0]]
+                bucket = results[task[0]]
+                for row in rows_by_task[task]:
+                    bucket.append(
+                        {variable: term(vid) for variable, vid in zip(layout, row)}
+                    )
+            span.note(
+                tasks=len(tasks),
+                candidates=sum(len(bucket) for bucket in results),
+            )
         return results
 
     # ------------------------------------------------------------------

@@ -33,6 +33,10 @@ from ..chase.tgd import TGD
 from ..chase.trigger import Trigger, apply_trigger, frontier_key, trigger_sort_key
 from ..core.structure import Structure
 from ..core.terms import FreshNullFactory
+from ..obs.metrics import CLOCK
+from ..obs.metrics import active as metrics_active
+from ..obs.report import ChaseRunStats, StageStats
+from ..obs.trace import NULL_SPAN, get_tracer
 from .delta import Assignment, compiled_delta_matches
 from .indexes import AtomIndex
 from .strategies import FiringStrategy, lazy_strategy
@@ -71,6 +75,14 @@ class SemiNaiveChaseEngine:
     #: large posting lists).  Discovery enumerates the same match set under
     #: every strategy, so the chase output is bit-identical regardless.
     match_strategy: str = "nested"
+    #: Collect a :class:`~repro.obs.report.ChaseRunStats` for the run and
+    #: attach it as ``result.stats`` (per-stage candidates/fired/atoms plus
+    #: discovery/dedup/fire wall times — a handful of clock reads per stage).
+    #: Set ``False`` for the bare pre-telemetry hot path; stats are still
+    #: collected while tracing or metrics are enabled, since those consumers
+    #: need the same numbers.  Collection only observes — the chase output
+    #: is bit-identical either way (pinned by ``tests/test_obs.py``).
+    collect_stats: bool = True
     #: The keep-alive discovery pool (:mod:`repro.engine.parallel`): created
     #: on the first ``run()`` that needs one and **retained across runs** —
     #: replicas are reset (not respawned) per run, so repeated chases on the
@@ -148,56 +160,168 @@ class SemiNaiveChaseEngine:
         reached_fixpoint = False
         delta_lo = 0
         pool = self._ensure_pool()
-        try:
-            while max_stages is None or stage < max_stages:
-                stage += 1
-                stage_start = index.watermark()
-                fired = self._run_stage(
-                    current,
-                    index,
-                    delta_lo,
-                    stage_start,
-                    null_factory,
-                    provenance,
-                    stage,
-                    pool,
-                )
-                delta_lo = stage_start
-                if self.keep_snapshots:
-                    snapshots.append(current.copy(name=f"chase_{stage}"))
-                if not fired:
-                    reached_fixpoint = True
-                    stage -= 1  # the last stage added nothing: not counted
-                    if self.keep_snapshots:
-                        snapshots.pop()
-                    break
-                if max_atoms is not None and len(current) > max_atoms:
-                    if self.raise_on_budget:
-                        raise ChaseBudgetExceeded(
-                            f"chase exceeded the atom budget of {max_atoms}"
+        # Telemetry handles are fetched once per run; when everything is
+        # disabled (tracer None, registry None, collect_stats False) the
+        # whole run takes the exact pre-telemetry path — no clock reads, no
+        # stats objects, spans are the shared no-op singleton.
+        tracer = get_tracer()
+        registry = metrics_active()
+        stats: Optional[ChaseRunStats] = None
+        if self.collect_stats or tracer is not None or registry is not None:
+            stats = ChaseRunStats(
+                engine="seminaive",
+                strategy=self.strategy.name,
+                match_strategy=self.match_strategy,
+                workers=self.workers,
+            )
+        run_started = CLOCK() if stats is not None else 0.0
+        run_span = (
+            tracer.span(
+                "chase.run",
+                engine="seminaive",
+                strategy=self.strategy.name,
+                match_strategy=self.match_strategy,
+                workers=self.workers,
+            )
+            if tracer is not None
+            else NULL_SPAN
+        )
+        with run_span:
+            try:
+                while max_stages is None or stage < max_stages:
+                    stage += 1
+                    stage_start = index.watermark()
+                    stage_stats = None
+                    if stats is not None:
+                        stage_stats = StageStats(
+                            stage=stage, delta_window=stage_start - delta_lo
                         )
-                    break
-        finally:
-            if pool is not None and pool.closed:
-                # A failed worker poisons (closes) the pool mid-run; drop the
-                # dead reference so the next run builds a fresh one.
-                self._pool = None
-            if self.share_index:
-                # Keep the index attached and hand it to the query layer:
-                # the chased structure's first certificate / containment
-                # check then starts from a warm index (no rebuild).
-                from ..query.context import shared_context
+                        stats.stages.append(stage_stats)
+                    stage_span = (
+                        tracer.span(
+                            "chase.stage",
+                            stage=stage,
+                            delta_window=stage_start - delta_lo,
+                        )
+                        if tracer is not None
+                        else NULL_SPAN
+                    )
+                    with stage_span:
+                        fired = self._run_stage(
+                            current,
+                            index,
+                            delta_lo,
+                            stage_start,
+                            null_factory,
+                            provenance,
+                            stage,
+                            pool,
+                            stats=stage_stats,
+                            tracer=tracer,
+                            span=stage_span,
+                        )
+                    delta_lo = stage_start
+                    if self.keep_snapshots:
+                        snapshots.append(current.copy(name=f"chase_{stage}"))
+                    if not fired:
+                        reached_fixpoint = True
+                        stage -= 1  # the last stage added nothing: not counted
+                        if self.keep_snapshots:
+                            snapshots.pop()
+                        break
+                    if max_atoms is not None and len(current) > max_atoms:
+                        if self.raise_on_budget:
+                            raise ChaseBudgetExceeded(
+                                f"chase exceeded the atom budget of {max_atoms}"
+                            )
+                        break
+            finally:
+                if pool is not None and pool.closed:
+                    # A failed worker poisons (closes) the pool mid-run; drop
+                    # the dead reference so the next run builds a fresh one.
+                    self._pool = None
+                if self.share_index:
+                    # Keep the index attached and hand it to the query layer:
+                    # the chased structure's first certificate / containment
+                    # check then starts from a warm index (no rebuild).
+                    from ..query.context import shared_context
 
-                shared_context.adopt(current, index)
-            else:
-                index.detach()
+                    shared_context.adopt(current, index)
+                else:
+                    index.detach()
+            if stats is not None:
+                self._finish_stats(stats, index, run_started, registry)
+                run_span.note(
+                    stages=len(stats.stages),
+                    candidates=stats.candidates,
+                    fired=stats.fired,
+                    new_atoms=stats.new_atoms,
+                    nulls_created=stats.nulls_created,
+                    reached_fixpoint=reached_fixpoint,
+                )
         return ChaseResult(
             structure=current,
             reached_fixpoint=reached_fixpoint,
             stages_run=stage,
             stage_snapshots=snapshots,
             provenance=provenance,
+            stats=stats,
         )
+
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _finish_stats(
+        stats: ChaseRunStats, index: AtomIndex, run_started: float, registry
+    ) -> None:
+        """Fill the run-end snapshots and publish the metrics totals."""
+        stats.wall_seconds = CLOCK() - run_started
+        cache = index.plan_cache
+        if cache is not None:
+            stats.plan_cache = {
+                "hits": cache.hits,
+                "stale_hits": cache.stale_hits,
+                "misses": cache.misses,
+                "invalidations": cache.invalidations,
+            }
+        trie = index.trie_cache
+        if trie is not None:
+            stats.trie_cache = {
+                "builds": trie.builds,
+                "extensions": trie.extensions,
+                "hits": trie.hits,
+                "invalidations": trie.invalidations,
+            }
+        shape = index.stats()
+        stats.index = {
+            "watermark": shape["watermark"],
+            "rebuilds": shape["rebuilds"],
+        }
+        stats.interner = {
+            "terms": shape["terms"],
+            "predicates": shape["predicates"],
+        }
+        if registry is not None:
+            registry.counter("engine.runs").inc()
+            registry.counter("engine.stages").inc(len(stats.stages))
+            registry.counter("engine.candidates").inc(stats.candidates)
+            registry.counter("engine.triggers_fired").inc(stats.fired)
+            registry.counter("engine.atoms_created").inc(stats.new_atoms)
+            registry.counter("engine.nulls_created").inc(stats.nulls_created)
+            registry.timer("engine.run").add(stats.wall_seconds)
+            registry.timer("engine.discovery").add(
+                sum(s.discovery_seconds for s in stats.stages)
+            )
+            registry.timer("engine.dedup").add(
+                sum(s.dedup_seconds for s in stats.stages)
+            )
+            registry.timer("engine.fire").add(
+                sum(s.fire_seconds for s in stats.stages)
+            )
+            registry.gauge("engine.delta_window").max(
+                max((s.delta_window for s in stats.stages), default=0)
+            )
+            registry.gauge("engine.watermark").set(shape["watermark"])
+            registry.gauge("engine.interner_terms").set(shape["terms"])
 
     # ------------------------------------------------------------------
     def _run_stage(
@@ -210,10 +334,24 @@ class SemiNaiveChaseEngine:
         provenance: ChaseProvenance,
         stage: int,
         pool=None,
+        stats: Optional[StageStats] = None,
+        tracer=None,
+        span=NULL_SPAN,
     ) -> bool:
-        """Run one stage; return ``True`` when at least one trigger fired."""
+        """Run one stage; return ``True`` when at least one trigger fired.
+
+        *stats*, *tracer* and *span* are the per-stage telemetry surfaces
+        (``None``/no-op when disabled): counts are kept in plain locals
+        either way — they are dwarfed by the keying work next to them — and
+        clock reads only happen when a :class:`StageStats` is being filled.
+        """
         strategy = self.strategy
         fired_any = False
+        timed = stats is not None
+        discovery_seconds = 0.0
+        dedup_seconds = 0.0
+        candidates_total = 0
+        deduped_total = 0
         # Batch discovery: every TGD's candidate matches are enumerated from
         # the delta through the compiled runtime *before* any trigger fires.
         # Body matches range over the stage-start posting-list prefix, and
@@ -225,48 +363,103 @@ class SemiNaiveChaseEngine:
         # enumerate against synced replica indexes; either way the candidate
         # sets are identical and the canonicalisation below erases any trace
         # of where (or in what order) a match was discovered.
-        if pool is not None:
-            per_tgd: Iterable[Iterable[Assignment]] = pool.discover(
-                index, delta_lo, stage_start, strategy=self.match_strategy
-            )
-        else:
-            per_tgd = (
-                compiled_delta_matches(
-                    tgd, index, delta_lo, stage_start,
-                    strategy=self.match_strategy,
+        discover_span = (
+            tracer.span("chase.discover", stage=stage)
+            if tracer is not None
+            else NULL_SPAN
+        )
+        with discover_span:
+            if pool is not None:
+                started = CLOCK() if timed else 0.0
+                per_tgd: Iterable[Iterable[Assignment]] = pool.discover(
+                    index, delta_lo, stage_start, strategy=self.match_strategy
                 )
-                for tgd in self.tgds
+                if timed:
+                    discovery_seconds += CLOCK() - started
+            else:
+                per_tgd = (
+                    compiled_delta_matches(
+                        tgd, index, delta_lo, stage_start,
+                        strategy=self.match_strategy,
+                    )
+                    for tgd in self.tgds
+                )
+            stage_candidates: List[List[tuple]] = []
+            for tgd, assignments in zip(self.tgds, per_tgd):
+                seen: set = set()
+                candidates: List[tuple] = []
+                started = CLOCK() if timed else 0.0
+                raw = 0
+                for assignment in assignments:
+                    raw += 1
+                    frontier = frontier_key(tgd, assignment)
+                    dedup = strategy.dedup_key(frontier, assignment)
+                    if dedup in seen:
+                        continue
+                    seen.add(dedup)
+                    candidates.append((trigger_sort_key(frontier), frontier, dedup))
+                if timed:
+                    now = CLOCK()
+                    discovery_seconds += now - started
+                    started = now
+                candidates.sort(key=lambda item: (item[0], repr(item[2])))
+                if timed:
+                    dedup_seconds += CLOCK() - started
+                candidates_total += raw
+                deduped_total += len(candidates)
+                stage_candidates.append(candidates)
+            discover_span.note(
+                candidates=candidates_total, deduped=deduped_total
             )
-        stage_candidates: List[List[tuple]] = []
-        for tgd, assignments in zip(self.tgds, per_tgd):
-            seen: set = set()
-            candidates: List[tuple] = []
-            for assignment in assignments:
-                frontier = frontier_key(tgd, assignment)
-                dedup = strategy.dedup_key(frontier, assignment)
-                if dedup in seen:
-                    continue
-                seen.add(dedup)
-                candidates.append((trigger_sort_key(frontier), frontier, dedup))
-            candidates.sort(key=lambda item: (item[0], repr(item[2])))
-            stage_candidates.append(candidates)
         # Firing phase: canonical order within each TGD, TGDs in rule order —
         # the same discipline as the reference engine, bit for bit.
-        for tgd, candidates in zip(self.tgds, stage_candidates):
-            for _, frontier, dedup in candidates:
-                if not strategy.should_fire(tgd, dedup, frontier, index):
-                    continue
-                trigger = Trigger(tgd, frontier)
-                outcome = apply_trigger(trigger, current, null_factory)
-                if not outcome.new_atoms:
-                    continue
-                fired_any = True
-                provenance.record(
-                    ChaseStep(
-                        stage=stage,
-                        trigger=trigger,
-                        new_atoms=outcome.new_atoms,
-                        new_elements=outcome.new_elements,
+        fired_count = 0
+        atoms_count = 0
+        nulls_count = 0
+        fire_started = CLOCK() if timed else 0.0
+        fire_span = (
+            tracer.span("chase.fire", stage=stage)
+            if tracer is not None
+            else NULL_SPAN
+        )
+        with fire_span:
+            for tgd, candidates in zip(self.tgds, stage_candidates):
+                for _, frontier, dedup in candidates:
+                    if not strategy.should_fire(tgd, dedup, frontier, index):
+                        continue
+                    trigger = Trigger(tgd, frontier)
+                    outcome = apply_trigger(trigger, current, null_factory)
+                    if not outcome.new_atoms:
+                        continue
+                    fired_any = True
+                    fired_count += 1
+                    atoms_count += len(outcome.new_atoms)
+                    nulls_count += len(outcome.new_elements)
+                    provenance.record(
+                        ChaseStep(
+                            stage=stage,
+                            trigger=trigger,
+                            new_atoms=outcome.new_atoms,
+                            new_elements=outcome.new_elements,
+                        )
                     )
-                )
+            fire_span.note(fired=fired_count, new_atoms=atoms_count)
+        if timed:
+            stats.candidates = candidates_total
+            stats.deduped = deduped_total
+            stats.fired = fired_count
+            stats.new_atoms = atoms_count
+            stats.nulls_created = nulls_count
+            stats.discovery_seconds = discovery_seconds
+            stats.dedup_seconds = dedup_seconds
+            stats.fire_seconds = CLOCK() - fire_started
+        # The stage span's end line carries the stage totals — the trace
+        # summarizer's accounting (and CI's consistency assert) reads these.
+        span.note(
+            candidates=candidates_total,
+            deduped=deduped_total,
+            fired=fired_count,
+            new_atoms=atoms_count,
+            nulls_created=nulls_count,
+        )
         return fired_any

@@ -1,0 +1,71 @@
+"""Observability: engine metrics, structured tracing, EXPLAIN and reports.
+
+The telemetry layer of the chase/query stack.  Everything here *observes* —
+nothing in this package feeds back into chase or evaluation decisions, so
+enabling any of it leaves results bit-identical (pinned by
+``tests/test_obs.py``).  Disabled is the default and costs ~nothing: metric
+lookups return shared no-op singletons and trace sites are a single
+``None`` check.
+
+* :mod:`repro.obs.metrics` — process-local counters/gauges/timers
+  (:func:`enable` / :func:`disable` / :func:`snapshot`), the shared
+  :data:`CLOCK`, :func:`stopwatch` and :func:`peak_rss_kb` used by the
+  benchmark harnesses.
+* :mod:`repro.obs.trace` — JSON-lines span tracer
+  (:func:`enable_tracing` / :func:`disable_tracing` / :func:`get_tracer`).
+* :mod:`repro.obs.report` — :class:`ChaseRunStats` (attached to
+  ``ChaseResult.stats`` by the semi-naive engine), :func:`explain`, and
+  :func:`summarize_trace` behind ``python -m repro.obs summarize``.
+"""
+
+from .metrics import (
+    CLOCK,
+    MetricsRegistry,
+    NULL_COUNTER,
+    NULL_GAUGE,
+    NULL_TIMER,
+    active,
+    counter,
+    disable,
+    enable,
+    gauge,
+    peak_rss_kb,
+    snapshot,
+    stopwatch,
+    timer,
+)
+from .report import (
+    ChaseRunStats,
+    StageStats,
+    TraceSummary,
+    explain,
+    summarize_trace,
+)
+from .trace import NULL_SPAN, Tracer, disable_tracing, enable_tracing, get_tracer
+
+__all__ = [
+    "CLOCK",
+    "ChaseRunStats",
+    "MetricsRegistry",
+    "NULL_COUNTER",
+    "NULL_GAUGE",
+    "NULL_SPAN",
+    "NULL_TIMER",
+    "StageStats",
+    "TraceSummary",
+    "Tracer",
+    "active",
+    "counter",
+    "disable",
+    "disable_tracing",
+    "enable",
+    "enable_tracing",
+    "explain",
+    "gauge",
+    "get_tracer",
+    "peak_rss_kb",
+    "snapshot",
+    "stopwatch",
+    "summarize_trace",
+    "timer",
+]

@@ -1,0 +1,63 @@
+"""CLI entry point: ``python -m repro.obs summarize trace.jsonl``.
+
+Folds a JSON-lines trace file (written via
+:func:`repro.obs.trace.enable_tracing`) into per-span totals and the
+chase-level invariants, and prints the summary.  ``--json`` emits the raw
+summary dict instead of the text rendering — the CI bench-smoke job uses it
+to assert the trace's fired-trigger total against the chase report's.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+from .report import summarize_trace
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.obs",
+        description="Inspect repro observability artifacts.",
+    )
+    commands = parser.add_subparsers(dest="command", required=True)
+    summarize = commands.add_parser(
+        "summarize", help="Summarize a JSON-lines trace file."
+    )
+    summarize.add_argument("trace", help="Path to the trace .jsonl file.")
+    summarize.add_argument(
+        "--json",
+        action="store_true",
+        help="Emit the summary as JSON instead of text.",
+    )
+    args = parser.parse_args(argv)
+
+    summary = summarize_trace(args.trace)
+    if args.json:
+        print(
+            json.dumps(
+                {
+                    "lines": summary.lines,
+                    "malformed": summary.malformed,
+                    "spans": {
+                        name: {"count": int(count), "seconds": total}
+                        for name, (count, total) in sorted(summary.spans.items())
+                    },
+                    "events": dict(sorted(summary.events.items())),
+                    "stages": summary.stages,
+                    "candidates": summary.candidates,
+                    "fired": summary.fired,
+                    "new_atoms": summary.new_atoms,
+                    "nulls_created": summary.nulls_created,
+                    "wire_bytes": summary.wire_bytes,
+                }
+            )
+        )
+    else:
+        print(summary.render())
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,314 @@
+"""Process-local engine metrics: counters, gauges and wall-clock timers.
+
+The registry is **disabled by default** and the disabled path is engineered
+to cost ~nothing: :func:`counter` / :func:`gauge` / :func:`timer` return
+module-level *no-op singletons* (:data:`NULL_COUNTER`, :data:`NULL_GAUGE`,
+:data:`NULL_TIMER`) whose mutators are empty methods, so instrumented hot
+paths hold one shared object and every update is a single no-op call.  The
+unit tests pin the singleton identity — ``counter("a") is counter("b") is
+NULL_COUNTER`` while disabled — because that identity *is* the overhead
+guarantee (no allocation, no dict lookup, no branching in the caller).
+
+Enable with :func:`enable` (optionally passing your own
+:class:`MetricsRegistry`), read everything back with :func:`snapshot`, and
+restore the default with :func:`disable`.  Instrument sites that update in a
+loop should fetch their handles once per run (the chase engine fetches per
+``run()``), not per iteration — a live handle is a plain attribute-bumping
+object, so the enabled path stays cheap too.
+
+**Clock discipline.**  All timing in the library goes through :data:`CLOCK`
+(``time.perf_counter``): the engine's stage timers, the tracer's span
+timestamps (unless a test injects a fake clock) and the benchmark harnesses
+(E16–E19 import :data:`CLOCK` and :func:`stopwatch` from here), so every
+recorded duration is comparable.  Clocks never feed back into chase or
+query decisions — telemetry observes, it does not steer — which is why
+enabling metrics cannot perturb bit-identity.
+
+**Memory.**  :func:`peak_rss_kb` reports the process's high-water resident
+set (``resource.getrusage``; ``tracemalloc`` peak as the fallback where the
+``resource`` module is unavailable), the ROADMAP item (o) companion to every
+wall-time row in the perf trajectories.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Dict, Optional
+
+#: The library-wide wall-clock source.  Monotonic, high-resolution, and the
+#: single clock the engine, the tracer and the benchmark harnesses share.
+CLOCK: Callable[[], float] = time.perf_counter
+
+
+# ----------------------------------------------------------------------
+# Live instruments
+# ----------------------------------------------------------------------
+class Counter:
+    """A monotonically increasing event count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+
+class Gauge:
+    """A last-written (or high-water) measurement."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0
+
+    def set(self, value) -> None:
+        self.value = value
+
+    def max(self, value) -> None:
+        """Keep the high-water mark of everything observed."""
+        if value > self.value:
+            self.value = value
+
+
+class Timer:
+    """Accumulated wall-clock time over any number of timed sections."""
+
+    __slots__ = ("seconds", "count", "_clock")
+
+    def __init__(self, clock: Callable[[], float] = CLOCK) -> None:
+        self.seconds = 0.0
+        self.count = 0
+        self._clock = clock
+
+    def add(self, seconds: float) -> None:
+        """Record an externally measured duration."""
+        self.seconds += seconds
+        self.count += 1
+
+    def time(self) -> "_TimerSection":
+        """A context manager that times its body into this timer."""
+        return _TimerSection(self)
+
+
+class _TimerSection:
+    __slots__ = ("_timer", "_started")
+
+    def __init__(self, timer: Timer) -> None:
+        self._timer = timer
+        self._started = 0.0
+
+    def __enter__(self) -> "_TimerSection":
+        self._started = self._timer._clock()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self._timer.add(self._timer._clock() - self._started)
+
+
+# ----------------------------------------------------------------------
+# Disabled instruments (shared no-op singletons)
+# ----------------------------------------------------------------------
+class _NullSection:
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullSection":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        pass
+
+
+_NULL_SECTION = _NullSection()
+
+
+class _NullCounter:
+    __slots__ = ()
+    value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        pass
+
+
+class _NullGauge:
+    __slots__ = ()
+    value = 0
+
+    def set(self, value) -> None:
+        pass
+
+    def max(self, value) -> None:
+        pass
+
+
+class _NullTimer:
+    __slots__ = ()
+    seconds = 0.0
+    count = 0
+
+    def add(self, seconds: float) -> None:
+        pass
+
+    def time(self) -> _NullSection:
+        return _NULL_SECTION
+
+
+#: The handles every disabled lookup returns — one shared instance per kind,
+#: so holding a handle across a chase run costs nothing when metrics are off.
+NULL_COUNTER = _NullCounter()
+NULL_GAUGE = _NullGauge()
+NULL_TIMER = _NullTimer()
+
+
+# ----------------------------------------------------------------------
+# The registry
+# ----------------------------------------------------------------------
+class MetricsRegistry:
+    """A named collection of live instruments (one flat namespace).
+
+    Names are dotted strings (``"engine.triggers_fired"``,
+    ``"query.plan.hits"`` — see the README glossary); instruments are created
+    on first lookup and accumulate until :meth:`reset` or the registry is
+    dropped.  The registry is process-local and not thread-safe by design:
+    the engine is single-threaded per run, and the parallel discovery
+    workers report through the engine side, never directly.
+    """
+
+    __slots__ = ("counters", "gauges", "timers", "clock")
+
+    def __init__(self, clock: Callable[[], float] = CLOCK) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.timers: Dict[str, Timer] = {}
+        self.clock = clock
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter()
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge()
+        return instrument
+
+    def timer(self, name: str) -> Timer:
+        instrument = self.timers.get(name)
+        if instrument is None:
+            instrument = self.timers[name] = Timer(self.clock)
+        return instrument
+
+    def reset(self) -> None:
+        self.counters.clear()
+        self.gauges.clear()
+        self.timers.clear()
+
+    def snapshot(self) -> Dict[str, object]:
+        """A plain, JSON-ready dict of every instrument's current value."""
+        out: Dict[str, object] = {}
+        for name, counter in sorted(self.counters.items()):
+            out[name] = counter.value
+        for name, gauge in sorted(self.gauges.items()):
+            out[name] = gauge.value
+        for name, timer in sorted(self.timers.items()):
+            out[name] = {"seconds": timer.seconds, "count": timer.count}
+        return out
+
+
+#: The active registry (``None`` = disabled, the default).
+_ACTIVE: Optional[MetricsRegistry] = None
+
+
+def enable(registry: Optional[MetricsRegistry] = None) -> MetricsRegistry:
+    """Activate metrics collection; returns the now-active registry."""
+    global _ACTIVE
+    _ACTIVE = registry if registry is not None else MetricsRegistry()
+    return _ACTIVE
+
+
+def disable() -> None:
+    """Deactivate metrics collection (lookups return the no-op singletons)."""
+    global _ACTIVE
+    _ACTIVE = None
+
+
+def active() -> Optional[MetricsRegistry]:
+    """The active registry, or ``None`` when metrics are disabled.
+
+    Instrument sites with per-iteration updates should call this once and
+    fetch live handles only when it returns a registry.
+    """
+    return _ACTIVE
+
+
+def counter(name: str):
+    """The named counter of the active registry, or :data:`NULL_COUNTER`."""
+    return _ACTIVE.counter(name) if _ACTIVE is not None else NULL_COUNTER
+
+
+def gauge(name: str):
+    """The named gauge of the active registry, or :data:`NULL_GAUGE`."""
+    return _ACTIVE.gauge(name) if _ACTIVE is not None else NULL_GAUGE
+
+
+def timer(name: str):
+    """The named timer of the active registry, or :data:`NULL_TIMER`."""
+    return _ACTIVE.timer(name) if _ACTIVE is not None else NULL_TIMER
+
+
+def snapshot() -> Dict[str, object]:
+    """The active registry's snapshot (empty dict when disabled)."""
+    return _ACTIVE.snapshot() if _ACTIVE is not None else {}
+
+
+# ----------------------------------------------------------------------
+# Shared measurement helpers (benchmark harnesses)
+# ----------------------------------------------------------------------
+class Stopwatch:
+    """One timed section on the shared :data:`CLOCK`; ``.seconds`` after exit."""
+
+    __slots__ = ("seconds", "_started")
+
+    def __init__(self) -> None:
+        self.seconds = 0.0
+        self._started = 0.0
+
+    def __enter__(self) -> "Stopwatch":
+        self._started = CLOCK()
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.seconds = CLOCK() - self._started
+
+
+def stopwatch() -> Stopwatch:
+    """``with stopwatch() as sw: ...`` — the harnesses' one timing idiom."""
+    return Stopwatch()
+
+
+def peak_rss_kb() -> int:
+    """Peak resident set size of this process, in kibibytes.
+
+    Uses ``resource.getrusage`` where available (Linux reports ``ru_maxrss``
+    in KiB; macOS in bytes, normalised here); falls back to the
+    ``tracemalloc`` peak when the ``resource`` module is missing, and to 0
+    when neither source exists — callers record the value, they never branch
+    on it.
+    """
+    try:
+        import resource
+    except ImportError:  # pragma: no cover - non-POSIX fallback
+        import tracemalloc
+
+        if tracemalloc.is_tracing():
+            return tracemalloc.get_traced_memory()[1] // 1024
+        return 0
+    import sys
+
+    peak = resource.getrusage(resource.RUSAGE_SELF).ru_maxrss
+    if sys.platform == "darwin":  # pragma: no cover - platform dependent
+        return peak // 1024
+    return peak

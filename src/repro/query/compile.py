@@ -66,6 +66,8 @@ from typing import (
 
 from ..core.atoms import Atom
 from ..core.terms import is_rigid
+from ..obs.metrics import active as _metrics_active
+from ..obs.trace import get_tracer as _get_tracer
 
 if TYPE_CHECKING:  # type-only: keeps repro.query importable before repro.engine
     from ..engine.indexes import AtomIndex
@@ -481,13 +483,20 @@ class PlanCache:
         return index.generation()
 
     def lookup(self, key: object) -> Optional[CompiledQuery]:
+        # One module-global read per lookup (not per row); the events below
+        # mirror the counters for the trace timeline when tracing is on.
+        tracer = _get_tracer()
         entry = self.entries.get(key)
         if entry is None:
             self.misses += 1
+            if tracer is not None:
+                tracer.event("query.plan.miss", reason="absent")
             return None
         generation = self._generation()
         if generation == entry.validated_generation:
             self.hits += 1
+            if tracer is not None:
+                tracer.event("query.plan.hit")
             return entry.compiled
         if generation[0] != entry.validated_generation[0]:
             # The index rebuilt itself (an atom was removed): posting lists
@@ -496,6 +505,9 @@ class PlanCache:
             self.entries.clear()
             self.invalidations += 1
             self.misses += 1
+            if tracer is not None:
+                tracer.event("query.plan.invalidate", reason="index-rebuild")
+                tracer.event("query.plan.miss", reason="invalidated")
             return None
         for step in entry.compiled.steps:
             posting = self.index.posting(step.pred_id)
@@ -503,9 +515,19 @@ class PlanCache:
             if current > max(GROWTH_FLOOR, GROWTH_FACTOR * step.planned_count):
                 del self.entries[key]
                 self.misses += 1
+                if tracer is not None:
+                    tracer.event(
+                        "query.plan.miss",
+                        reason="growth",
+                        predicate=step.atom.predicate,
+                        planned=step.planned_count,
+                        current=current,
+                    )
                 return None
         entry.validated_generation = generation
         self.stale_hits += 1
+        if tracer is not None:
+            tracer.event("query.plan.stale_hit")
         return entry.compiled
 
     def store(self, key: object, compiled: CompiledQuery) -> None:
@@ -886,9 +908,38 @@ def execute(
     ):
         from .wcoj import execute_wcoj  # function-level: wcoj imports this module
 
-        return execute_wcoj(compiled, index, registers, hi, delta_lo, stage_start)
-    if strategy == "hash" or (
+        chosen = "wcoj"
+        rows = execute_wcoj(compiled, index, registers, hi, delta_lo, stage_start)
+    elif strategy == "hash" or (
         strategy == "auto" and compiled.hash_recommended and not first_only
     ):
-        return execute_hash(compiled, index, registers, hi, delta_lo, stage_start)
-    return execute_nested(compiled, index, registers, hi, delta_lo, stage_start)
+        chosen = "hash"
+        rows = execute_hash(compiled, index, registers, hi, delta_lo, stage_start)
+    else:
+        chosen = "nested"
+        rows = execute_nested(compiled, index, registers, hi, delta_lo, stage_start)
+    tracer = _get_tracer()
+    if tracer is not None:
+        tracer.event(
+            "query.execute",
+            executor=chosen,
+            requested=strategy,
+            atoms=len(compiled.steps),
+            first_only=first_only,
+        )
+    registry = _metrics_active()
+    if registry is not None:
+        registry.counter(f"query.execute.{chosen}").inc()
+        return _counted_rows(rows, registry.counter(f"query.rows.{chosen}"))
+    return rows
+
+
+def _counted_rows(rows: Iterator[List[int]], counter) -> Iterator[List[int]]:
+    """Count solutions through an executor (metrics-enabled dispatch only).
+
+    The wrapper exists only while a registry is active — the default path
+    returns the executor's iterator untouched, laziness and all.
+    """
+    for row in rows:
+        counter.inc()
+        yield row

@@ -118,6 +118,23 @@ class EvalContext:
     def __len__(self) -> int:
         return sum(1 for ref in self._entries.values() if ref() is not None)
 
+    def stats(self) -> Dict[str, int]:
+        """The context's counters as one JSON-ready dict (:mod:`repro.obs`).
+
+        Everything here is maintained anyway for the cache-behaviour tests;
+        the telemetry layer reads it at report time instead of double
+        counting, the same read-don't-count discipline as
+        :meth:`AtomIndex.stats`.
+        """
+        return {
+            "live_indexes": len(self),
+            "indexes_built": self.indexes_built,
+            "indexes_reused": self.indexes_reused,
+            "indexes_adopted": self.indexes_adopted,
+            "plans_compiled": self.plans_compiled,
+            "plans_reused": self.plans_reused,
+        }
+
     # ------------------------------------------------------------------
     def _lookup(self, structure: Structure) -> Optional[AtomIndex]:
         ref = self._entries.get(id(structure))

@@ -33,6 +33,8 @@ from __future__ import annotations
 from bisect import bisect_left
 from typing import TYPE_CHECKING, Iterator, List, Optional
 
+from ...obs.metrics import active as _metrics_active
+from ...obs.trace import get_tracer as _get_tracer
 from ..compile import CompiledQuery, _resolve_windows
 from .order import build_wcoj_plan
 from .trie import trie_cache_for
@@ -71,11 +73,21 @@ def execute_wcoj(
     # extend or reuse) one trie per atom.  An empty trie proves there are no
     # solutions at all, and "empty" is cached too.
     exec_key = (hi, delta_lo, stage_start, seed_lo, seed_hi, index.generation())
+    registry = _metrics_active()
     if compiled._wcoj_key == exec_key:
+        if registry is not None:
+            registry.counter("wcoj.preamble.reused").inc()
         tries = compiled._wcoj_state
         if tries is None:
             return
     else:
+        if registry is not None:
+            registry.counter("wcoj.preamble.resolved").inc()
+        tracer = _get_tracer()
+        if tracer is not None:
+            tracer.event(
+                "wcoj.preamble", atoms=len(steps), levels=len(plan.levels)
+            )
         cache = trie_cache_for(index)
         watermark = index.watermark()
         windows = _resolve_windows(steps, hi, delta_lo, stage_start, seed_lo, seed_hi)

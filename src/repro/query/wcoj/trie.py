@@ -38,6 +38,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING, Dict, List, Tuple
 
+from ...obs.trace import get_tracer as _get_tracer
+
 if TYPE_CHECKING:  # type-only: keeps repro.query importable before repro.engine
     from ...engine.indexes import AtomIndex
 
@@ -130,10 +132,15 @@ class TrieCache:
     # ------------------------------------------------------------------
     def get(self, spec: TrieSpec, lo: int, hi: int) -> Trie:
         """The trie of *spec* over the stamp window ``[lo, hi)``."""
+        # One global read per trie lookup (per step per evaluation, never
+        # per row); events mirror the counters onto the trace timeline.
+        tracer = _get_tracer()
         if self.index.rebuilds != self.rebuilds:
             self.entries.clear()
             self.rebuilds = self.index.rebuilds
             self.invalidations += 1
+            if tracer is not None:
+                tracer.event("trie.invalidate", rebuilds=self.rebuilds)
         key = (spec, lo)
         entry = self.entries.get(key)
         if entry is not None:
@@ -144,16 +151,32 @@ class TrieCache:
                 extended = self._extend(spec, entry, hi)
                 self.entries[key] = extended
                 self.extensions += 1
+                if tracer is not None:
+                    tracer.event(
+                        "trie.extend",
+                        pred_id=spec[0],
+                        rows=len(extended.rows),
+                        hi=hi,
+                    )
                 return extended
             # hi < built_hi: an older snapshot than the cached one — build
             # fresh without displacing the (still growing) cached entry.
             self.builds += 1
-            return self._build(spec, lo, hi)
+            trie = self._build(spec, lo, hi)
+            if tracer is not None:
+                tracer.event(
+                    "trie.build", pred_id=spec[0], rows=len(trie.rows), cached=False
+                )
+            return trie
         if len(self.entries) >= TRIE_CACHE_LIMIT:
             self.entries.clear()
         trie = self._build(spec, lo, hi)
         self.entries[key] = trie
         self.builds += 1
+        if tracer is not None:
+            tracer.event(
+                "trie.build", pred_id=spec[0], rows=len(trie.rows), cached=True
+            )
         return trie
 
     # ------------------------------------------------------------------
