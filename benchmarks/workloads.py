@@ -1,0 +1,134 @@
+"""Synthetic workload generators shared by the engine benchmarks.
+
+Every generator returns ``(tgds, instance)`` for a *wide* rule set — many
+independent TGDs, each over its own predicates — which is the shape the
+parallel discovery pool (ROADMAP c/k) exists for: per-TGD discovery cost
+dominates, the serial merge/decode tail stays small, and the partitioner
+has enough tasks to balance.  The shapes differ in *where* the join cost
+lives:
+
+* ``chain`` — two-hop composition ``A(x,y), B(y,z) -> C(x,z)``: the classic
+  sort-merge/hash shape, join fan-out ~ ``edges**2 / nodes`` per rule.
+* ``hub`` — star join ``R(h,x), S(h,y) -> T(x,y)`` with *h* drawn from a
+  deliberately small hub pool: heavy per-key buckets, the worst case for a
+  binary-join plan and the motivating case for the WCOJ executor.
+* ``clique`` — triangle closure ``E(x,y), E(y,z), E(z,x) -> W(x,y,z)``:
+  cyclic, the AGM-bound showcase, comparatively few matches per rule.
+* ``skewed_mix`` — alternating chain/triangle rules over power-law edges
+  (a few hot nodes own most endpoints): unequal task costs that punish a
+  naive round-robin partition.
+
+All randomness is ``random.Random(seed)``-driven and the produced atom
+lists are sorted, so a workload is a pure function of its parameters —
+trajectory rows stay comparable across commits.  ``edges`` is the atom
+count *per rule*; total instance size is ``rules * edges``.
+"""
+
+import random
+
+from repro.chase.tgd import parse_tgds
+from repro.core.atoms import Atom
+from repro.core.structure import Structure
+
+
+def _distinct_pairs(rng, edges, source_of, target_of):
+    """*edges* distinct (source, target) pairs from the given samplers."""
+    seen = set()
+    attempts = 0
+    while len(seen) < edges:
+        pair = (source_of(rng), target_of(rng))
+        attempts += 1
+        if pair[0] != pair[1]:
+            seen.add(pair)
+        if attempts > 64 * edges:  # skew can exhaust the distinct-pair pool
+            raise ValueError("edge pool too small for requested edge count")
+    return sorted(seen)
+
+
+def chain(rules=8, nodes=150, edges=1200, seed=7):
+    """Two-hop composition joins, one ``A, B -> C`` rule per relation pair."""
+    tgds = parse_tgds(
+        *[f"A{i}(x,y), B{i}(y,z) -> C{i}(x,z)" for i in range(rules)]
+    )
+    rng = random.Random(seed)
+    uniform = lambda r: r.randrange(nodes)
+    atoms = []
+    for i in range(rules):
+        for name, count in ((f"A{i}", (edges + 1) // 2), (f"B{i}", edges // 2)):
+            atoms.extend(
+                Atom(name, (str(a), str(b)))
+                for a, b in _distinct_pairs(rng, count, uniform, uniform)
+            )
+    return tgds, Structure(atoms)
+
+
+def hub(rules=8, nodes=150, edges=1200, seed=7):
+    """Star joins through a small hub pool: heavy per-key fan-out."""
+    tgds = parse_tgds(
+        *[f"R{i}(h,x), S{i}(h,y) -> T{i}(x,y)" for i in range(rules)]
+    )
+    rng = random.Random(seed)
+    hubs = max(4, edges // 16)
+    hub_of = lambda r: r.randrange(hubs)
+    spoke_of = lambda r: hubs + r.randrange(nodes)
+    atoms = []
+    for i in range(rules):
+        for name, count in ((f"R{i}", (edges + 1) // 2), (f"S{i}", edges // 2)):
+            atoms.extend(
+                Atom(name, (str(a), str(b)))
+                for a, b in _distinct_pairs(rng, count, hub_of, spoke_of)
+            )
+    return tgds, Structure(atoms)
+
+
+def clique(rules=16, nodes=300, edges=3000, seed=7):
+    """Triangle closure per rule — the cyclic, AGM-tight shape."""
+    tgds = parse_tgds(
+        *[f"E{i}(x,y), E{i}(y,z), E{i}(z,x) -> W{i}(x,y,z)" for i in range(rules)]
+    )
+    rng = random.Random(seed)
+    uniform = lambda r: r.randrange(nodes)
+    atoms = []
+    for i in range(rules):
+        atoms.extend(
+            Atom(f"E{i}", (str(a), str(b)))
+            for a, b in _distinct_pairs(rng, edges, uniform, uniform)
+        )
+    return tgds, Structure(atoms)
+
+
+def skewed_mix(rules=8, nodes=300, edges=1200, seed=7):
+    """Alternating chain/triangle rules over power-law (Zipf-ish) edges."""
+    shapes = [
+        f"M{i}(x,y), M{i}(y,z), M{i}(z,x) -> W{i}(x,y,z)"
+        if i % 2
+        else f"M{i}(x,y), M{i}(y,z) -> C{i}(x,z)"
+        for i in range(rules)
+    ]
+    tgds = parse_tgds(*shapes)
+    rng = random.Random(seed)
+    # Quadratic skew: endpoint ids concentrate near 0, so a handful of hot
+    # nodes dominates every join while the tail stays sparse.
+    skewed = lambda r: int(nodes * r.random() ** 2)
+    atoms = []
+    for i in range(rules):
+        atoms.extend(
+            Atom(f"M{i}", (str(a), str(b)))
+            for a, b in _distinct_pairs(rng, edges, skewed, skewed)
+        )
+    return tgds, Structure(atoms)
+
+
+#: name -> generator; benchmark configs reference workloads by this name so
+#: trajectory JSON rows stay greppable and self-describing.
+WORKLOADS = {
+    "chain": chain,
+    "hub": hub,
+    "clique": clique,
+    "skewed-mix": skewed_mix,
+}
+
+
+def build(name, **params):
+    """Instantiate a registered workload by name."""
+    return WORKLOADS[name](**params)

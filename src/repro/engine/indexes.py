@@ -23,20 +23,27 @@ binary search on the stamp — the semi-naive engine therefore needs no
 
 Since the compiled query runtime landed, the index stores **interned facts**:
 every term and predicate is mapped to a dense integer ID by the per-index
-:class:`~repro.query.interning.Interner`, each predicate posting list keeps
-the encoded ``Tuple[int, ...]`` argument row next to the atom object, and the
+:class:`~repro.query.interning.Interner`, and the
 ``(predicate, position, value)`` posting lists hold plain row offsets into
-the predicate list instead of duplicating atom object references.  The
-compiled executor (:mod:`repro.query.compile`) joins directly on the int
-rows; the object-level API below (``atoms``, ``candidates``, …) is kept
+the predicate list instead of duplicating atom object references.  Posting
+storage itself is **columnar**: each predicate posting list keeps one flat
+``array('q')`` per argument position plus a stamp column (fixed arity per
+predicate, enforced by the schema layer), so the compiled executor
+(:mod:`repro.query.compile`) walks contiguous int columns by offset instead
+of chasing per-row tuples, and the same columns can be re-bound onto
+``multiprocessing.shared_memory`` views on replica indexes (zero-copy
+attach; see :mod:`repro.engine.shm` and :meth:`AtomIndex.apply_shared`).
+The object-level API below (``atoms``, ``candidates``, …) is kept
 bit-for-bit compatible for the interpreted paths and the tests.
 """
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left
 from dataclasses import dataclass
-from typing import Dict, Iterator, List, Optional, Tuple
+from functools import partial
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..core.atoms import Atom
 from ..core.structure import Structure, StructureListener
@@ -87,14 +94,16 @@ class _Stamped:
 
     Entries are appended in ascending sequence-stamp order, so any
     ``[lo, hi)`` stamp window is a contiguous slice located by binary
-    search on :attr:`stamps`.  Subclasses carry the actual payload lists,
-    kept parallel to ``stamps``.
+    search on :attr:`stamps`.  Subclasses carry the actual payload
+    columns, kept parallel to ``stamps`` — a flat ``array('q')`` locally,
+    or a ``memoryview`` slice of a shared-memory segment on replicas
+    (both index, ``len`` and bisect identically).
     """
 
     __slots__ = ("stamps",)
 
     def __init__(self) -> None:
-        self.stamps: List[int] = []
+        self.stamps: Sequence[int] = array("q")
 
     def cut(self, before: Optional[int]) -> int:
         """Index of the first entry with stamp ≥ *before* (len when None)."""
@@ -111,45 +120,154 @@ class _Stamped:
         return self.cut(before)
 
 
-class _PostingList(_Stamped):
-    """Append-only atoms of one predicate, in ascending sequence-stamp order.
+class _LazyAtoms:
+    """Sequence view decoding shared-posting atoms on demand.
 
-    ``rows[i]`` is the interned argument row of ``atoms[i]``; the three lists
-    are parallel.  The compiled executor walks ``rows`` (small-int tuples)
-    and only touches ``atoms`` when a match must be decoded.
+    Replica indexes bound to shared-memory segments have no atom objects of
+    their own — only int columns.  The object-level API still hands out
+    ``posting.atoms``; this view satisfies it by decoding through the
+    replica's interner per offset (cached, so repeated access keeps object
+    identity within the process).
     """
 
-    __slots__ = ("atoms", "rows")
+    __slots__ = ("_posting",)
+
+    def __init__(self, posting: "_PostingList") -> None:
+        self._posting = posting
+
+    def __len__(self) -> int:
+        return self._posting.length
+
+    def __getitem__(self, offset: int) -> Atom:
+        return self._posting.atom_at(offset)
+
+    def __iter__(self) -> Iterator[Atom]:
+        posting = self._posting
+        return (posting.atom_at(offset) for offset in range(posting.length))
+
+    def __eq__(self, other: object) -> bool:
+        return list(self) == list(other) if isinstance(other, (list, _LazyAtoms)) else NotImplemented
+
+
+class _PostingList(_Stamped):
+    """Append-only atoms of one predicate, stored as flat int columns.
+
+    ``stamps`` and ``cols[j]`` (one per argument position; arity is fixed
+    at first append) are parallel ``array('q')`` columns — entry ``i`` of
+    every column describes the same fact.  The compiled executors walk the
+    columns by offset; atom *objects* live in a parallel list on
+    engine-owned indexes (``atoms[i]``), or are decoded lazily through the
+    interner on shared-memory replicas (:meth:`bind_shared` re-points the
+    columns at ``memoryview`` slices of an attached segment, sliced to the
+    valid logical length so ``len``/``bisect`` keep working unchanged).
+    """
+
+    __slots__ = ("cols", "_atoms", "_arity", "_decode", "_cache")
 
     def __init__(self) -> None:
         super().__init__()
-        self.atoms: List[Atom] = []
-        self.rows: List[Tuple[int, ...]] = []
+        self.cols: Tuple[Sequence[int], ...] = ()
+        self._atoms: Optional[List[Atom]] = []
+        self._arity = -1
+        self._decode: Optional[Callable[[Tuple[int, ...]], Atom]] = None
+        self._cache: Optional[Dict[int, Atom]] = None
 
+    # -- shape ----------------------------------------------------------
+    @property
+    def length(self) -> int:
+        """Number of valid entries (the logical row count)."""
+        return len(self.stamps)
+
+    @property
+    def arity(self) -> int:
+        return self._arity
+
+    @property
+    def atoms(self) -> Sequence[Atom]:
+        if self._atoms is not None:
+            return self._atoms
+        return _LazyAtoms(self)
+
+    # -- engine-side append --------------------------------------------
     def append(self, atom: Atom, stamp: int, row: Tuple[int, ...]) -> None:
-        self.atoms.append(atom)
+        if self._arity != len(row):
+            if self._arity >= 0:
+                raise ValueError(
+                    f"posting arity changed: {self._arity} -> {len(row)}"
+                )
+            self._arity = len(row)
+            self.cols = tuple(array("q") for _ in row)
+        self._atoms.append(atom)
         self.stamps.append(stamp)
-        self.rows.append(row)
+        for column, vid in zip(self.cols, row):
+            column.append(vid)
+
+    # -- shared-memory re-binding (replica side) -----------------------
+    def bind_shared(
+        self,
+        view,
+        capacity: int,
+        arity: int,
+        length: int,
+        decode: Callable[[Tuple[int, ...]], Atom],
+    ) -> None:
+        """Re-point the columns at a segment's ``'q'`` view.
+
+        ``view`` holds ``1 + arity`` regions of *capacity* elements each
+        (stamps first); only the ``[0, length)`` prefix of every region is
+        valid, so the bound columns are sliced to exactly that — the rest
+        of the API needs no shared/local distinction.  Called again after
+        every sync (longer length, possibly a different segment after a
+        grow); previously decoded atoms stay cached because offsets are
+        stable under both.
+        """
+        self.stamps = view[0:length]
+        self.cols = tuple(
+            view[(1 + position) * capacity : (1 + position) * capacity + length]
+            for position in range(arity)
+        )
+        self._arity = arity
+        self._atoms = None
+        self._decode = decode
+        if self._cache is None:
+            self._cache = {}
+
+    # -- row access -----------------------------------------------------
+    def row(self, offset: int) -> Tuple[int, ...]:
+        """The interned argument row at *offset* (tuple view of the columns)."""
+        return tuple(column[offset] for column in self.cols)
+
+    def atom_at(self, offset: int) -> Atom:
+        """The atom object at *offset*, decoding lazily on shared replicas."""
+        if self._atoms is not None:
+            return self._atoms[offset]
+        if offset >= len(self.stamps) or offset < 0:
+            raise IndexError(offset)
+        atom = self._cache.get(offset)
+        if atom is None:
+            atom = self._cache[offset] = self._decode(self.row(offset))
+        return atom
 
     def iter_range(self, lo: Optional[int], hi: Optional[int]) -> Iterator[Atom]:
         """Atoms with ``lo ≤ stamp < hi`` (open bounds when ``None``)."""
         start, stop = self.bounds(lo, hi)
         for position in range(start, stop):
-            yield self.atoms[position]
+            yield self.atom_at(position)
 
 
 class _RowRefs(_Stamped):
     """Row offsets (into a predicate posting list) sharing one position value.
 
-    Each entry costs two ints instead of an object reference — the compact
-    ``(predicate, position, value)`` side of the interned fact encoding.
+    Each entry costs two machine ints in flat ``array('q')`` columns — the
+    compact ``(predicate, position, value)`` side of the interned fact
+    encoding.
     """
 
     __slots__ = ("offsets",)
 
     def __init__(self) -> None:
         super().__init__()
-        self.offsets: List[int] = []
+        self.offsets = array("q")
 
     def append(self, offset: int, stamp: int) -> None:
         self.offsets.append(offset)
@@ -268,7 +386,7 @@ class AtomIndex(StructureListener):
         posting = self._by_predicate.get(pid)
         if posting is None:
             posting = self._by_predicate[pid] = _PostingList()
-        offset = len(posting.atoms)
+        offset = posting.length
         posting.append(atom, stamp, row)
         by_position = self._by_position
         for position, vid in enumerate(row):
@@ -307,9 +425,9 @@ class AtomIndex(StructureListener):
         facts: List[Tuple[int, int, Tuple[int, ...]]] = []
         for pid, posting in self._by_predicate.items():
             start = posting.cut(since) if since else 0
-            stamps, rows = posting.stamps, posting.rows
+            stamps, row = posting.stamps, posting.row
             for offset in range(start, len(stamps)):
-                facts.append((stamps[offset], pid, rows[offset]))
+                facts.append((stamps[offset], pid, row(offset)))
         facts.sort()
         return (
             WireSlice(
@@ -350,6 +468,61 @@ class AtomIndex(StructureListener):
         for stamp, pid, row in wire.facts:
             self._store(decode(pid, row), pid, row, stamp)
         self._seq = wire.watermark
+
+    def apply_shared(self, sync, cache) -> None:
+        """Re-bind this (detached, replica) index onto shared-memory columns.
+
+        The zero-copy counterpart of :meth:`apply_slice`: *sync* is a
+        :class:`~repro.engine.shm.ShmSync` control message and *cache* a
+        worker-held :class:`~repro.engine.shm.SegmentCache`.  Instead of
+        replaying fact rows, each posting list's columns are re-pointed at
+        ``memoryview`` slices of the segments named by the sync's
+        directory — only the ``(predicate, position, value)`` offset refs
+        (which have no shared mirror) are extended here, by scanning the
+        freshly valid offsets of each posting.  Scanning per predicate in
+        ascending offset order reproduces exactly the per-key ref order of
+        serial ``_store`` calls, which is what keeps replica matching
+        bit-identical to the source.
+        """
+        if self._structure is not None:
+            raise ValueError("only a detached index can attach shared segments")
+        if sync.reset:
+            self._by_predicate = {}
+            self._by_position = {}
+            # Mirror the source's rebuild count so generation-keyed caches
+            # (compiled plans, tries, executor preambles) drop state that
+            # references the discarded bindings.
+            self.rebuilds = sync.rebuilds
+        self._interner.install_terms(sync.terms, sync.term_base)
+        self._interner.install_predicates(sync.predicates, sync.predicate_base)
+        by_position = self._by_position
+        live_names = set()
+        decode_atom = self._interner.decode_atom
+        for entry in sync.directory:
+            live_names.add(entry.name)
+            view = cache.view(entry.name)
+            posting = self._by_predicate.get(entry.pid)
+            if posting is None:
+                posting = self._by_predicate[entry.pid] = _PostingList()
+            known = posting.length
+            posting.bind_shared(
+                view,
+                entry.capacity,
+                entry.arity,
+                entry.length,
+                partial(decode_atom, entry.pid),
+            )
+            stamps, cols = posting.stamps, posting.cols
+            for offset in range(known, entry.length):
+                stamp = stamps[offset]
+                for position in range(entry.arity):
+                    key = (entry.pid, position, cols[position][offset])
+                    slot = by_position.get(key)
+                    if slot is None:
+                        slot = by_position[key] = _RowRefs()
+                    slot.append(offset, stamp)
+        cache.release_except(live_names)
+        self._seq = sync.watermark
 
     # ------------------------------------------------------------------
     # Encoded access (the compiled executor's surface)
@@ -438,7 +611,7 @@ class AtomIndex(StructureListener):
             return iter(())
         posting = self._by_predicate[pid]
         stop = slot.cut(hi)
-        return (posting.atoms[slot.offsets[i]] for i in range(stop))
+        return (posting.atom_at(slot.offsets[i]) for i in range(stop))
 
     def count(self, predicate: str, hi: Optional[int] = None) -> int:
         """Number of *predicate* atoms with stamp < *hi*."""

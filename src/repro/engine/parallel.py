@@ -5,19 +5,27 @@ PR 3 restructured semi-naive stages into a read-only batch-discovery pass
 serial firing pass — precisely so that discovery, the embarrassingly
 parallel half of a stage, could be farmed out per TGD (ROADMAP item c).
 This module is that worker pool.  Threads would not help here: the workload
-is pure-Python join execution, so the pool uses **processes** and ships the
-interned fact encoding across the boundary instead of sharing memory.
+is pure-Python join execution, so the pool uses **processes** — and, since
+the posting storage went columnar, shares the fact columns through
+``multiprocessing.shared_memory`` instead of serialising them.
 
 How a stage's discovery runs with ``workers=N``:
 
-1. **Sync** — the engine-side :class:`~repro.engine.indexes.AtomIndex`
-   exports a :class:`~repro.engine.indexes.WireSlice`: the facts appended
-   since the last stage as ``(stamp, predicate ID, row)`` triples plus the
-   new suffix of the interner's symbol tables.  Every worker applies the
-   slice to its replica index, which therefore has bit-identical stamps,
-   posting-list offsets and interned IDs (replicas never intern anything
-   themselves — rule constants and predicates are pre-interned parent-side
-   before the first export, and facts only ever arrive through slices).
+1. **Sync** — by default the engine mirrors its index's flat posting
+   columns into shared-memory segments (:mod:`repro.engine.shm`) and sends
+   only a :class:`~repro.engine.shm.ShmSync` control message: the
+   ``(watermark, segment directory, symbol-table suffix)`` triple.  Each
+   worker attaches the named segments once and re-points its replica's
+   posting columns at ``memoryview`` slices — zero fact bytes cross the
+   pipe, regardless of how large the stage's delta was.  The pickled
+   :class:`~repro.engine.indexes.WireSlice` protocol (facts as
+   ``(stamp, predicate ID, row)`` triples) remains the fallback wire for
+   detached/cross-host replicas and platforms without shared memory
+   (``shared_memory=False`` forces it).  Either way the replica ends up
+   with bit-identical stamps, posting offsets and interned IDs (replicas
+   never intern anything themselves — rule constants and predicates are
+   pre-interned parent-side before the first sync, and facts only ever
+   arrive through syncs).
 2. **Partition** — one task per TGD; when the rule set is narrower than the
    pool (skewed workloads), each TGD's delta window is additionally split
    into disjoint stamp sub-windows.  A match is seeded exactly at its first
@@ -54,6 +62,7 @@ from ..core.terms import is_rigid
 from ..obs.trace import NULL_SPAN, get_tracer
 from .delta import Assignment, assignment_layout, iter_encoded_matches
 from .indexes import AtomIndex, WireCursor
+from .shm import DEFAULT_INITIAL_CAPACITY, SHM_AVAILABLE, SegmentCache
 
 #: A discovery task: ``(tgd_index, seed_lo, seed_hi)``; ``None`` bounds mean
 #: the full delta window.
@@ -76,14 +85,18 @@ class WorkerError(RuntimeError):
 # Worker side
 # ----------------------------------------------------------------------
 def _worker_main(conn, tgds: Sequence[TGD]) -> None:
-    """The worker process loop: apply slices, run tasks, ship rows back.
+    """The worker process loop: sync the replica, run tasks, ship rows back.
 
-    Messages in: ``("run", slice_or_None, delta_lo, stage_start, tasks,
-    strategy)``, ``("reset",)`` (drop the replica — a keep-alive pool is
-    being re-bound to a fresh engine index, whose export stream starts over
-    with new stamps and a new interner), and ``("stop",)``.  Messages out:
-    ``("ok", rows_per_task)`` aligned with the incoming task list, or
-    ``("error", traceback_text)``.
+    Messages in: ``("run", (transport, payload), delta_lo, stage_start,
+    tasks, strategy)`` where the sync payload is either
+    ``("shm", ShmSync-or-None)`` — attach/re-bind shared-memory segments —
+    or ``("wire", WireSlice-or-None)`` — replay pickled fact rows (the
+    fallback wire); ``("reset",)`` (drop the replica — a keep-alive pool is
+    being re-bound to a fresh engine index, whose sync stream starts over
+    with new stamps and a new interner; segment attachments are kept, the
+    store reuses them); and ``("stop",)``.  Messages out: ``("ok",
+    rows_per_task)`` aligned with the incoming task list, or ``("error",
+    traceback_text)``.
     """
     # Telemetry is process-local by contract: a fork-started worker inherits
     # the parent's module globals, including an active tracer whose file
@@ -97,21 +110,38 @@ def _worker_main(conn, tgds: Sequence[TGD]) -> None:
     _obs_trace._TRACER = None
     _obs_metrics._ACTIVE = None
     replica = AtomIndex()
+    segments = SegmentCache()
     layouts = [assignment_layout(tgd) for tgd in tgds]
     try:
         while True:
             message = conn.recv()
             kind = message[0]
             if kind == "stop":
+                # Drop the replica first: its posting columns hold memoryview
+                # slices of the attached segments, which must die before the
+                # mappings can close without BufferError noise at exit.  The
+                # replica sits in reference cycles (plan/trie caches point
+                # back at it), so an explicit collection is what actually
+                # releases the views.
+                replica = None
+                import gc
+
+                gc.collect()
+                segments.close()
                 return
             if kind == "reset":
                 # Plan/trie caches live on the replica and die with it.
+                # Segment attachments survive: a reset store recycles its
+                # segments, so the next shm sync re-binds the same names.
                 replica = AtomIndex()
                 continue
             try:
-                _, wire, delta_lo, stage_start, tasks, strategy = message
-                if wire is not None:
-                    replica.apply_slice(wire)
+                _, (transport, payload), delta_lo, stage_start, tasks, strategy = message
+                if payload is not None:
+                    if transport == "shm":
+                        replica.apply_shared(payload, segments)
+                    else:
+                        replica.apply_slice(payload)
                 interner = replica.interner
                 synced = (interner.term_count(), interner.predicate_count())
                 results: List[List[Tuple[int, ...]]] = []
@@ -141,6 +171,11 @@ def _worker_main(conn, tgds: Sequence[TGD]) -> None:
                 conn.send(("error", traceback.format_exc()))
     except (EOFError, OSError, KeyboardInterrupt):
         # The engine went away (or is tearing the pool down): just exit.
+        replica = None
+        import gc
+
+        gc.collect()
+        segments.close()
         return
 
 
@@ -162,14 +197,31 @@ class ParallelDiscovery:
         workers: int,
         start_method: Optional[str] = None,
         min_window_split: int = MIN_WINDOW_SPLIT,
+        shared_memory: Optional[bool] = None,
+        shm_initial_capacity: int = DEFAULT_INITIAL_CAPACITY,
     ) -> None:
         if workers < 2:
             raise ValueError("a discovery pool needs at least 2 workers")
+        if shared_memory and not SHM_AVAILABLE:  # pragma: no cover - platform
+            raise RuntimeError(
+                "shared_memory=True but multiprocessing.shared_memory "
+                "is unavailable on this platform"
+            )
         self._tgds = list(tgds)
         self._layouts = [assignment_layout(tgd) for tgd in self._tgds]
         self._min_window_split = min_window_split
         self._cursor: Optional[WireCursor] = None
         self._preinterned = False
+        #: ``None`` auto-selects: shared memory when the platform has it,
+        #: the pickled wire otherwise.  A mid-run shm failure (e.g. a full
+        #: ``/dev/shm``) downgrades to the wire permanently — replicas are
+        #: rebuilt from a reset slice, so the run stays correct.
+        self.shared_memory_requested = (
+            SHM_AVAILABLE if shared_memory is None else shared_memory
+        )
+        self._use_shm = self.shared_memory_requested
+        self._shm_initial_capacity = shm_initial_capacity
+        self._store = None
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
             start_method = next(m for m in _START_METHODS if m in available)
@@ -248,9 +300,13 @@ class ParallelDiscovery:
             raise WorkerError(f"discovery worker went away: {error!r}") from error
         self._cursor = None
         self._preinterned = False
+        if self._store is not None and not self._store.closed:
+            # Keep the segments (the next run's columns recycle them), but
+            # restart the mirror from zero alongside the replicas.
+            self._store.reset()
 
     def close(self) -> None:
-        """Stop the workers; idempotent, safe mid-teardown."""
+        """Stop the workers and unlink every segment; idempotent."""
         conns, self._conns = self._conns, None
         processes, self._processes = self._processes, []
         for conn in conns or ():
@@ -265,6 +321,11 @@ class ParallelDiscovery:
                 process.join(timeout=5)
         for conn in conns or ():
             conn.close()
+        store, self._store = self._store, None
+        if store is not None:
+            # After the workers are gone, so their mappings don't pin pages;
+            # the store's own atexit hook covers the no-explicit-close path.
+            store.close()
 
     # ------------------------------------------------------------------
     def discover(
@@ -301,7 +362,7 @@ class ParallelDiscovery:
         )
         with span:
             self._preintern(index)
-            wire, self._cursor = index.export_slice(self._cursor)
+            payload = self._sync_payload(index)
             tasks = self._plan_tasks(delta_lo, stage_start)
             worker_count = len(self._conns)
             parts = [
@@ -310,25 +371,29 @@ class ParallelDiscovery:
             wire_bytes = 0
             if tracer is not None:
                 # Priced only while tracing: the engine never serialises the
-                # slice itself (each pipe send does), so this pickle exists
-                # purely to tag the worker events with a byte count.
+                # payload itself (each pipe send does), so this pickle exists
+                # purely to tag the worker events with a byte count.  On the
+                # shm path this is the whole per-stage shipped cost — the
+                # control message; fact bytes live in the segments.
                 import pickle
 
-                wire_bytes = 0 if wire is None else len(pickle.dumps(wire))
+                body = payload[1]
+                wire_bytes = 0 if body is None else len(pickle.dumps(body))
             rows_by_task: Dict[Task, List[Tuple[int, ...]]] = {}
             failure: Optional[str] = None
             try:
                 for worker_id, (conn, part) in enumerate(zip(self._conns, parts)):
-                    # Every worker gets the sync slice even when it drew no
-                    # tasks — replicas must never fall behind the export
+                    # Every worker gets the sync payload even when it drew no
+                    # tasks — replicas must never fall behind the sync
                     # stream.
-                    conn.send(("run", wire, delta_lo, stage_start, part, strategy))
+                    conn.send(("run", payload, delta_lo, stage_start, part, strategy))
                     if tracer is not None:
                         tracer.event(
                             "parallel.worker",
                             worker=worker_id,
                             tasks=len(part),
                             wire_bytes=wire_bytes,
+                            transport=payload[0],
                         )
                 for conn, part in zip(self._conns, parts):
                     reply = conn.recv()
@@ -368,6 +433,51 @@ class ParallelDiscovery:
         return results
 
     # ------------------------------------------------------------------
+    @property
+    def shared_memory(self) -> bool:
+        """True while syncs go through shared-memory segments.
+
+        Starts as the resolved ``shared_memory=`` constructor choice and
+        flips to False permanently if the shm backend fails mid-run (the
+        pool downgrades to the pickled wire and rebuilds the replicas).
+        """
+        return self._use_shm
+
+    def _sync_payload(self, index: AtomIndex):
+        """The tagged sync payload for this stage: shm control or wire slice."""
+        if self._use_shm:
+            try:
+                store = self._store
+                if store is None or store.closed:
+                    from .shm import SharedColumnStore
+
+                    store = self._store = SharedColumnStore(
+                        self._shm_initial_capacity
+                    )
+                return ("shm", store.sync(index))
+            except OSError:
+                # Shared memory gave out (e.g. /dev/shm full or unmounted).
+                # Downgrade to the pickled wire for the rest of the pool's
+                # life.  Replica symbol tables are append-only and survive
+                # the switch, so the hand-off cursor carries the symbol
+                # counts shm already shipped; ``rebuilds=-1`` can never match
+                # the index, forcing a reset slice that rebuilds the fact
+                # tables from scratch.
+                self._use_shm = False
+                store, self._store = self._store, None
+                terms = predicates = 0
+                if store is not None:
+                    terms, predicates = store.shipped_symbols()
+                    store.close()
+                self._cursor = WireCursor(
+                    rebuilds=-1,
+                    watermark=0,
+                    term_count=terms,
+                    predicate_count=predicates,
+                )
+        wire, self._cursor = index.export_slice(self._cursor)
+        return ("wire", wire)
+
     def _preintern(self, index: AtomIndex) -> None:
         """Intern every symbol a worker's compiler could touch, engine-side.
 

@@ -69,6 +69,12 @@ class SemiNaiveChaseEngine:
     #: into the canonical order, so the run stays bit-identical either way.
     #: The firing pass is always serial — the chase discipline demands it.
     workers: int = 0
+    #: Replica sync transport for the worker pool: ``None`` auto-selects
+    #: shared-memory posting columns when the platform supports them
+    #: (zero-copy attach, see :mod:`repro.engine.shm`), ``False`` forces
+    #: the pickled wire-slice protocol (detached/cross-host replicas),
+    #: ``True`` demands shared memory.  Output is bit-identical either way.
+    shared_memory: Optional[bool] = None
     #: Compiled executor for delta body matching: ``"nested"`` (the
     #: historical default), ``"hash"``, ``"wcoj"`` (worst-case-optimal
     #: generic join), or ``"auto"`` (upgrade to WCOJ on cyclic bodies over
@@ -109,11 +115,17 @@ class SemiNaiveChaseEngine:
         if not (self.workers and self.workers >= 2 and self.tgds):
             self.close()
             return None
+        from .shm import SHM_AVAILABLE
+
+        requested = (
+            SHM_AVAILABLE if self.shared_memory is None else self.shared_memory
+        )
         pool = self._pool
         if (
             pool is not None
             and not pool.closed
             and pool.workers == self.workers
+            and pool.shared_memory_requested == requested
             # The worker processes carry the TGD list they were spawned
             # with, so reuse is only sound while the engine still runs the
             # very same rule objects — anything else rebuilds the pool.
@@ -126,7 +138,9 @@ class SemiNaiveChaseEngine:
         self.close()
         from .parallel import ParallelDiscovery
 
-        self._pool = pool = ParallelDiscovery(self.tgds, self.workers)
+        self._pool = pool = ParallelDiscovery(
+            self.tgds, self.workers, shared_memory=self.shared_memory
+        )
         return pool
 
     # ------------------------------------------------------------------

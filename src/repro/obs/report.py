@@ -287,7 +287,7 @@ def explain(structure, query, context=None, strategy: Optional[str] = None) -> s
     for number, step in enumerate(compiled.steps):
         window = _WINDOW_NAMES.get(step.window, str(step.window))
         posting = index.posting(step.pred_id)
-        current = 0 if posting is None else len(posting.rows)
+        current = 0 if posting is None else posting.length
         lines.append(
             f"  {number}. {step.atom!r}  window={window}  "
             f"rows={current} (planned {step.planned_count})  "
@@ -341,7 +341,14 @@ class TraceSummary:
     new_atoms: int = 0
     nulls_created: int = 0
     #: Bytes shipped to parallel workers (sum over ``parallel.worker`` events).
+    #: Under the shared-memory transport this is control-message bytes only —
+    #: compare with :attr:`shm_attached_bytes` to see the saving.
     wire_bytes: int = 0
+    #: Posting-column bytes workers read in place via shared-memory segments
+    #: (sum over ``parallel.shm.attach`` events; never crossed a pipe).
+    shm_attached_bytes: int = 0
+    #: Segment bytes allocated by grow-by-doubling (``parallel.shm.grow``).
+    shm_grown_bytes: int = 0
 
     def render(self) -> str:
         lines = [
@@ -367,6 +374,11 @@ class TraceSummary:
             )
         if self.wire_bytes:
             lines.append(f"parallel: {self.wire_bytes} wire bytes shipped")
+        if self.shm_attached_bytes or self.shm_grown_bytes:
+            lines.append(
+                f"parallel shm: {self.shm_attached_bytes} bytes attached "
+                f"in place, {self.shm_grown_bytes} bytes allocated"
+            )
         return "\n".join(lines)
 
 
@@ -405,5 +417,9 @@ def _summarize_lines(lines: Iterable[str], summary: TraceSummary) -> TraceSummar
             summary.events[name] = summary.events.get(name, 0) + 1
             if name == "parallel.worker":
                 summary.wire_bytes += line.get("wire_bytes", 0)
+            elif name == "parallel.shm.attach":
+                summary.shm_attached_bytes += line.get("bytes", 0)
+            elif name == "parallel.shm.grow":
+                summary.shm_grown_bytes += line.get("bytes", 0)
         # "B" lines only open spans; the matching "E" carries the totals.
     return summary

@@ -511,7 +511,7 @@ class PlanCache:
             return None
         for step in entry.compiled.steps:
             posting = self.index.posting(step.pred_id)
-            current = 0 if posting is None else len(posting.atoms)
+            current = 0 if posting is None else posting.length
             if current > max(GROWTH_FLOOR, GROWTH_FACTOR * step.planned_count):
                 del self.entries[key]
                 self.misses += 1
@@ -639,26 +639,32 @@ def execute_nested(
     nsteps = len(steps)
     last = nsteps - 1
 
-    # Per-execution preamble: posting lists and constant-position probes do
-    # not depend on the registers, so they are resolved once per run, not
+    # Per-execution preamble: posting columns and constant-position probes
+    # do not depend on the registers, so they are resolved once per run, not
     # once per search node — and cached on the compiled query for as long as
     # the evaluation snapshot (stamp bounds + index generation) stays the
     # same, which is exactly the repeated-evaluation case the plan cache
     # serves.  The generation component covers both growth (watermark) and
-    # rebuilds: a rebuild replaces the posting-list objects wholesale, so
-    # cached row references must not survive it even when the watermark
-    # happens to come back identical (e.g. removing the only atom).  An
-    # empty posting or a constant value with zero rows inside its stamp
-    # window proves there are no solutions at all ("empty" is cached too).
+    # rebuilds: a rebuild replaces the posting-list objects wholesale (and a
+    # shared-memory sync re-binds their column views), so cached column
+    # references must not survive either even when the watermark happens to
+    # come back identical (e.g. removing the only atom).  An empty posting
+    # or a constant value with zero rows inside its stamp window proves
+    # there are no solutions at all ("empty" is cached too).  Each step's
+    # register ops are resolved to ``(op, column, operand)`` here so the
+    # per-candidate loop below does a single flat ``column[offset]`` fetch —
+    # candidates travel as *offsets* into the step's posting columns, never
+    # as materialised row tuples.
     exec_key = (hi, delta_lo, stage_start, seed_lo, seed_hi, index.generation())
     if compiled._exec_key == exec_key:
         state = compiled._exec_state
         if state is None:
             return
-        windows, step_rows, const_probes = state
+        windows, step_ops, step_postings, const_probes = state
     else:
         windows = _resolve_windows(steps, hi, delta_lo, stage_start, seed_lo, seed_hi)
-        step_rows: List[List[Tuple[int, ...]]] = []
+        step_ops: List[Tuple[tuple, ...]] = []
+        step_postings: List[object] = []
         const_probes: List[Optional[Tuple[object, int]]] = []
         empty = False
         for depth, step in enumerate(steps):
@@ -666,7 +672,14 @@ def execute_nested(
             if posting is None:
                 empty = True
                 break
-            step_rows.append(posting.rows)
+            cols = posting.cols
+            step_ops.append(
+                tuple(
+                    (op, cols[position], operand)
+                    for op, position, operand in step.ops
+                )
+            )
+            step_postings.append(posting)
             _, hi_d = windows[depth]
             best = None
             for position, vid in step.consts:
@@ -683,12 +696,14 @@ def execute_nested(
                 break
             const_probes.append(best)
         compiled._exec_key = exec_key
-        compiled._exec_state = None if empty else (windows, step_rows, const_probes)
+        compiled._exec_state = (
+            None if empty else (windows, step_ops, step_postings, const_probes)
+        )
         if empty:
             return
 
-    def candidates(depth: int) -> Iterator[Tuple[int, ...]]:
-        """Rows of step *depth*'s window, through its most selective probe."""
+    def candidates(depth: int) -> Iterator[int]:
+        """Offsets of step *depth*'s window, through its most selective probe."""
         step = steps[depth]
         lo, hi_d = windows[depth]
         pred_id = step.pred_id
@@ -706,25 +721,24 @@ def execute_nested(
             count = len(stamps) if hi_d is None else bisect_left(stamps, hi_d)
             if best_count is None or count < best_count:
                 best_refs, best_count = refs, count
-        rows = step_rows[depth]
         if best_refs is not None:
             start = 0 if lo is None else bisect_left(best_refs.stamps, lo)
-            return map(rows.__getitem__, best_refs.offsets[start:best_count])
-        posting = by_predicate[pred_id]
-        start = 0 if lo is None else bisect_left(posting.stamps, lo)
-        stop = len(rows) if hi_d is None else bisect_left(posting.stamps, hi_d)
-        return iter(rows[start:stop])
+            return iter(best_refs.offsets[start:best_count])
+        stamps = step_postings[depth].stamps
+        start = 0 if lo is None else bisect_left(stamps, lo)
+        stop = len(stamps) if hi_d is None else bisect_left(stamps, hi_d)
+        return iter(range(start, stop))
 
-    iterators: List[Iterator[Tuple[int, ...]]] = [iter(())] * nsteps
+    iterators: List[Iterator[int]] = [iter(())] * nsteps
     iterators[0] = candidates(0)
     depth = 0
     while depth >= 0:
-        ops = steps[depth].ops
+        ops = step_ops[depth]
         descended = False
-        for row in iterators[depth]:
+        for offset in iterators[depth]:
             matched = True
-            for op, position, operand in ops:
-                value = row[position]
+            for op, column, operand in ops:
+                value = column[offset]
                 if op == OP_BIND:
                     registers[operand] = value
                 elif op == OP_CHECK_SLOT:
@@ -755,45 +769,51 @@ def _build_hash_step(
     """The register-independent build side of one hash-join step.
 
     Returns ``("empty",)`` when the step's window provably holds no matching
-    rows, ``("join", table)`` when the step joins on previously-bound slots
-    (rows bucketed by their join-position values), or ``("scan", rows)`` for
-    a cross-product step.  None of this depends on the probing registers, so
-    the result is cached on the compiled query per evaluation snapshot.
+    rows, ``("join", table)`` when the step joins on previously-bound slots,
+    or ``("scan", values)`` for a cross-product step.  The build scan walks
+    the posting's flat columns by offset and projects each surviving row
+    down to the tuple of values at the step's *bind* positions — the only
+    values the probe side ever reads — so buckets hold compact projected
+    tuples, not full rows.  None of this depends on the probing registers,
+    so the result is cached on the compiled query per evaluation snapshot.
     """
     posting = index.posting(step.pred_id)
     if posting is None:
         return ("empty",)
     lo, step_hi = window
     start, stop = posting.bounds(lo, step_hi)
-    rows = posting.rows
-    consts = step.consts
-    sames = step.sames
-    joins = step.joins
+    cols = posting.cols
+    consts = tuple((cols[position], vid) for position, vid in step.consts)
+    sames = tuple((cols[position], cols[earlier]) for position, earlier in step.sames)
+    join_cols = tuple(cols[position] for position, _ in step.joins)
+    bind_cols = tuple(cols[position] for position, _ in step.binds)
 
-    def row_passes(row: Tuple[int, ...]) -> bool:
-        for position, vid in consts:
-            if row[position] != vid:
+    def offset_passes(offset: int) -> bool:
+        for column, vid in consts:
+            if column[offset] != vid:
                 return False
-        for position, earlier in sames:
-            if row[position] != row[earlier]:
+        for column, earlier in sames:
+            if column[offset] != earlier[offset]:
                 return False
         return True
 
-    if joins:
+    if join_cols:
         table: Dict[Tuple[int, ...], List[Tuple[int, ...]]] = {}
         for offset in range(start, stop):
-            row = rows[offset]
-            if not row_passes(row):
+            if not offset_passes(offset):
                 continue
-            key = tuple(row[position] for position, _ in joins)
+            key = tuple(column[offset] for column in join_cols)
+            values = tuple(column[offset] for column in bind_cols)
             bucket = table.get(key)
             if bucket is None:
-                table[key] = [row]
+                table[key] = [values]
             else:
-                bucket.append(row)
+                bucket.append(values)
         return ("join", table)
     matching = [
-        rows[offset] for offset in range(start, stop) if row_passes(rows[offset])
+        tuple(column[offset] for column in bind_cols)
+        for offset in range(start, stop)
+        if offset_passes(offset)
     ]
     if not matching:
         return ("empty",)
@@ -850,7 +870,9 @@ def execute_hash(
         kind = entry[0]
         if kind == "empty":
             return
-        binds = step.binds
+        # Build buckets hold projected bind-position values (see
+        # ``_build_hash_step``), so probing just zips them into the slots.
+        slots = tuple(slot for _, slot in step.binds)
         fresh: List[List[int]] = []
         if kind == "join":
             table = entry[1]
@@ -860,17 +882,17 @@ def execute_hash(
                 bucket = table.get(key)
                 if not bucket:
                     continue
-                for row in bucket:
+                for values in bucket:
                     extended = list(regs)
-                    for position, slot in binds:
-                        extended[slot] = row[position]
+                    for slot, value in zip(slots, values):
+                        extended[slot] = value
                     fresh.append(extended)
         else:
             for regs in partials:
-                for row in entry[1]:
+                for values in entry[1]:
                     extended = list(regs)
-                    for position, slot in binds:
-                        extended[slot] = row[position]
+                    for slot, value in zip(slots, values):
+                        extended[slot] = value
                     fresh.append(extended)
         partials = fresh
         if not partials:

@@ -82,30 +82,36 @@ def _project(
     consts: Tuple[Tuple[int, int], ...],
     eqs: Tuple[Tuple[int, int], ...],
 ) -> List[Tuple[int, ...]]:
-    """Filtered, permuted rows of ``posting.rows[start:stop]`` (unsorted).
+    """Filtered, permuted projection of the posting window (unsorted).
 
-    Projection is injective on the filtered rows — constant positions carry
-    a fixed value and equality positions repeat a projected one, so the full
-    row is determined by its projection and distinct rows stay distinct —
-    except in the zero-column case (a fully ground atom), which the caller
-    collapses to at most one empty row.
+    Walks the posting's flat ``array('q')``/``memoryview`` columns directly
+    by offset — the filters and the permutation are resolved to column
+    objects once, so the per-row work is plain flat fetches with no tuple
+    materialisation until a row survives.  Projection is injective on the
+    filtered rows — constant positions carry a fixed value and equality
+    positions repeat a projected one, so the full row is determined by its
+    projection and distinct rows stay distinct — except in the zero-column
+    case (a fully ground atom), which the caller collapses to at most one
+    empty row.
     """
-    rows = posting.rows
+    cols = posting.cols
+    const_cols = tuple((cols[position], vid) for position, vid in consts)
+    eq_cols = tuple((cols[position], cols[earlier]) for position, earlier in eqs)
+    perm_cols = tuple(cols[position] for position in perm)
     out: List[Tuple[int, ...]] = []
     for offset in range(start, stop):
-        row = rows[offset]
         ok = True
-        for position, vid in consts:
-            if row[position] != vid:
+        for column, vid in const_cols:
+            if column[offset] != vid:
                 ok = False
                 break
         if ok:
-            for position, earlier in eqs:
-                if row[position] != row[earlier]:
+            for column, earlier in eq_cols:
+                if column[offset] != earlier[offset]:
                     ok = False
                     break
         if ok:
-            out.append(tuple(row[position] for position in perm))
+            out.append(tuple(column[offset] for column in perm_cols))
     return out
 
 

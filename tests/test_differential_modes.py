@@ -130,6 +130,26 @@ def test_eager_strategies_parallel_matches_serial(seed, strategy):
     )
 
 
+@pytest.mark.parametrize("seed", _SEEDS[:4])
+def test_wire_fallback_transport_is_bit_identical(seed):
+    # Replicas fed pickled fact slices (the fallback wire for detached or
+    # shm-less hosts) must produce the same bits as the shared-memory
+    # transport and as the serial engine.
+    from repro.engine import SemiNaiveChaseEngine
+
+    rules, instance = random_case(seed)
+    serial = run_chase(rules, instance, MAX_STAGES, MAX_ATOMS)
+    wire = run_chase(
+        rules,
+        instance,
+        MAX_STAGES,
+        MAX_ATOMS,
+        engine=SemiNaiveChaseEngine(tgds=[], shared_memory=False),
+        workers=2,
+    )
+    assert_bit_identical(serial, wire, f"wire transport seed={seed}")
+
+
 def test_harness_actually_exercises_firings():
     # Guard against the random generator degenerating into vacuous cases:
     # across the seed set, a healthy majority of cases must fire triggers

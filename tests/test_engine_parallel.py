@@ -48,12 +48,14 @@ def assert_same_index(replica, source):
         source_posting = source.posting(pid)
         replica_posting = replica.posting(pid)
         if source_posting is None:
-            assert replica_posting is None or not replica_posting.atoms
+            assert replica_posting is None or replica_posting.length == 0
             continue
         assert replica_posting is not None
-        assert replica_posting.atoms == source_posting.atoms
-        assert replica_posting.rows == source_posting.rows
-        assert replica_posting.stamps == source_posting.stamps
+        assert replica_posting.length == source_posting.length
+        assert list(replica_posting.atoms) == list(source_posting.atoms)
+        assert list(replica_posting.stamps) == list(source_posting.stamps)
+        for offset in range(source_posting.length):
+            assert replica_posting.row(offset) == source_posting.row(offset)
 
 
 # ----------------------------------------------------------------------
@@ -401,3 +403,277 @@ def test_keep_alive_engine_recovers_after_abrupt_worker_death():
         recovered = engine.run(instance)
         assert engine._pool is not crashed and not engine._pool.closed
         assert recovered.structure.atoms() == serial.structure.atoms()
+
+
+# ----------------------------------------------------------------------
+# Shared-memory columnar sync (repro.engine.shm)
+# ----------------------------------------------------------------------
+import os
+import subprocess
+import sys
+import textwrap
+
+from repro.engine.shm import SHM_AVAILABLE, SegmentCache, SharedColumnStore
+
+shm_only = pytest.mark.skipif(
+    not SHM_AVAILABLE, reason="multiprocessing.shared_memory unavailable"
+)
+
+
+@shm_only
+def test_apply_shared_full_and_incremental_round_trip():
+    structure = structure_from_text("R(1,2), R(2,3), S(3,4)")
+    index = AtomIndex(structure)
+    store = SharedColumnStore()
+    cache = SegmentCache()
+    try:
+        sync = store.sync(index)
+        assert sync.reset and sync.term_base == 0
+        replica = AtomIndex()
+        replica.apply_shared(sync, cache)
+        assert_same_index(replica, index)
+        # Steady state: nothing changed, the control message is None.
+        assert store.sync(index) is None
+        # Growth: the directory re-points at longer column prefixes and only
+        # the symbol-table suffix travels; the replica re-binds in place.
+        structure.add_fact("R", "3", "9")
+        structure.add_fact("T", "9")
+        sync = store.sync(index)
+        assert not sync.reset
+        assert "T" in sync.predicates and "9" in sync.terms
+        replica.apply_shared(sync, cache)
+        assert_same_index(replica, index)
+        # The replica answers object-level queries identically (atoms are
+        # decoded lazily through its interner).
+        assert list(replica.atoms("R")) == list(index.atoms("R"))
+        assert replica.count_with_value("R", 0, "3") == 1
+    finally:
+        cache.close()
+        store.close()
+
+
+@shm_only
+def test_apply_shared_requires_detached_index():
+    structure = structure_from_text("R(1,2)")
+    index = AtomIndex(structure)
+    store = SharedColumnStore()
+    cache = SegmentCache()
+    try:
+        sync = store.sync(index)
+        with pytest.raises(ValueError):
+            index.apply_shared(sync, cache)
+    finally:
+        cache.close()
+        store.close()
+
+
+@shm_only
+def test_shared_segments_grow_by_doubling_mid_run():
+    structure = structure_from_text("R(0,1)")
+    index = AtomIndex(structure)
+    store = SharedColumnStore(initial_capacity=2)
+    cache = SegmentCache()
+    try:
+        replica = AtomIndex()
+        replica.apply_shared(store.sync(index), cache)
+        first_name = store.segment_names()[0]
+        # Push the posting past the segment capacity: a fresh (doubled)
+        # segment replaces it, and the replica must follow the directory to
+        # the new name while keeping every previously synced row intact.
+        for i in range(1, 40):
+            structure.add_fact("R", str(i), str(i + 1))
+        replica.apply_shared(store.sync(index), cache)
+        assert store.segment_names()[0] != first_name
+        assert_same_index(replica, index)
+        # The retired segment was unlinked immediately: only the live name
+        # exists on disk.
+        assert not os.path.exists(f"/dev/shm/{first_name}")
+    finally:
+        cache.close()
+        store.close()
+
+
+@shm_only
+def test_replica_reattaches_after_index_rebuild():
+    structure = structure_from_text("R(0,1), R(1,2), R(2,0)")
+    index = AtomIndex(structure)
+    store = SharedColumnStore()
+    cache = SegmentCache()
+    try:
+        replica = AtomIndex()
+        replica.apply_shared(store.sync(index), cache)
+        structure.remove_atom(Atom("R", ("2", "0")))  # full index rebuild
+        assert index.rebuilds == 1
+        sync = store.sync(index)
+        assert sync.reset and sync.rebuilds == 1
+        replica.apply_shared(sync, cache)
+        assert_same_index(replica, index)
+        # Interned IDs survived the rebuild on both sides.
+        assert replica.interner.term_id("1") == index.interner.term_id("1")
+    finally:
+        cache.close()
+        store.close()
+
+
+@shm_only
+def test_store_close_is_idempotent_and_unlinks_segments():
+    structure = structure_from_text("R(1,2), S(2,3)")
+    index = AtomIndex(structure)
+    store = SharedColumnStore()
+    store.sync(index)
+    names = store.segment_names()
+    assert names and all(os.path.exists(f"/dev/shm/{n}") for n in names)
+    store.close()
+    assert store.closed and not store.segment_names()
+    assert not any(os.path.exists(f"/dev/shm/{n}") for n in names)
+    store.close()  # idempotent
+    with pytest.raises(RuntimeError):
+        store.sync(index)
+
+
+@shm_only
+def test_store_reset_recycles_segments_for_the_next_run():
+    first = structure_from_text("R(1,2), R(2,3)")
+    index = AtomIndex(first)
+    store = SharedColumnStore()
+    cache = SegmentCache()
+    try:
+        replica = AtomIndex()
+        replica.apply_shared(store.sync(index), cache)
+        names = store.segment_names()
+        store.reset()
+        # A fresh run: new index, new stamps, new interner — same segments.
+        second = structure_from_text("R(a,b), T(b)")
+        index2 = AtomIndex(second)
+        sync = store.sync(index2)
+        assert sync.reset
+        replica2 = AtomIndex()
+        replica2.apply_shared(sync, cache)
+        assert_same_index(replica2, index2)
+        assert set(store.segment_names()) & set(names), "segments recycled"
+    finally:
+        cache.close()
+        store.close()
+
+
+def test_pool_wire_fallback_matches_serial():
+    structure = structure_from_text(
+        ", ".join(f"R({i},{(i + 1) % 9})" for i in range(9)) + ", R(4,4)"
+    )
+    index = AtomIndex(structure)
+    stage_start = index.watermark()
+    serial = serial_discovery(TGDS, index, 0, stage_start)
+    with ParallelDiscovery(TGDS, workers=2, shared_memory=False) as pool:
+        assert not pool.shared_memory and not pool.shared_memory_requested
+        parallel = pool.discover(index, 0, stage_start)
+        assert pool._store is None  # the wire path never allocates segments
+    for serial_part, parallel_part in zip(serial, parallel):
+        assert canonical(parallel_part) == canonical(serial_part)
+
+
+@shm_only
+def test_pool_downgrades_to_wire_when_shm_fails_mid_run(monkeypatch):
+    structure = structure_from_text("R(0,1), R(1,2)")
+    index = AtomIndex(structure)
+    with ParallelDiscovery(TGDS, workers=2) as pool:
+        stage_start = index.watermark()
+        first = pool.discover(index, 0, stage_start)
+        assert pool.shared_memory
+        # The shm backend gives out (e.g. /dev/shm full): the pool must
+        # downgrade to the pickled wire, rebuild the replicas from a reset
+        # slice, and keep producing the serial match set.
+        def explode(index):
+            raise OSError("no space left on device")
+
+        monkeypatch.setattr(pool._store, "sync", explode)
+        structure.add_fact("R", "2", "3")
+        delta_lo, stage_start = stage_start, index.watermark()
+        serial = serial_discovery(TGDS, index, delta_lo, stage_start)
+        parallel = pool.discover(index, delta_lo, stage_start)
+        assert not pool.shared_memory and pool._store is None
+        for serial_part, parallel_part in zip(serial, parallel):
+            assert canonical(parallel_part) == canonical(serial_part)
+        assert canonical(first[0]) == canonical(
+            serial_discovery(TGDS, index, 0, delta_lo)[0]
+        )
+
+
+@shm_only
+def test_pool_shm_growth_mid_run_matches_serial():
+    structure = structure_from_text("R(0,1), R(1,2)")
+    index = AtomIndex(structure)
+    with ParallelDiscovery(TGDS, workers=2, shm_initial_capacity=2) as pool:
+        stage_start = index.watermark()
+        pool.discover(index, 0, stage_start)
+        # Grow well past the tiny initial capacity: workers must follow the
+        # directory through several segment replacements.
+        for i in range(2, 50):
+            structure.add_fact("R", str(i), str(i + 1))
+        delta_lo, stage_start = stage_start, index.watermark()
+        serial = serial_discovery(TGDS, index, delta_lo, stage_start)
+        parallel = pool.discover(index, delta_lo, stage_start)
+        for serial_part, parallel_part in zip(serial, parallel):
+            assert canonical(parallel_part) == canonical(serial_part)
+
+
+@shm_only
+def test_engine_shared_memory_knob_runs_bit_identical():
+    tgds = parse_tgds("R(x,y), R(y,z) -> S(x,z)", "S(x,y), R(y,z) -> S(x,z)")
+    instance = structure_from_text(", ".join(f"R({i},{i + 1})" for i in range(12)))
+    serial = run_chase(tgds, instance, 50, 50_000)
+    for shared_memory in (True, False, None):
+        with SemiNaiveChaseEngine(
+            tgds=list(tgds), max_stages=50, max_atoms=50_000,
+            workers=2, shared_memory=shared_memory,
+        ) as engine:
+            result = engine.run(instance)
+        assert result.structure.atoms() == serial.structure.atoms()
+        assert result.structure.domain() == serial.structure.domain()
+        assert len(result.provenance) == len(serial.provenance)
+        for expected, produced in zip(serial.provenance, result.provenance):
+            assert produced.trigger == expected.trigger
+            assert produced.new_atoms == expected.new_atoms
+
+
+@shm_only
+@pytest.mark.skipif(not os.path.isdir("/dev/shm"), reason="no /dev/shm")
+def test_no_segment_leak_or_tracker_noise_at_interpreter_exit():
+    # The atexit hook is the last line of defence: a process that never
+    # closes its pool must still unlink every segment and exit without
+    # resource_tracker warnings or BufferError noise.
+    script = textwrap.dedent(
+        """
+        from repro.core.builders import structure_from_text
+        from repro.engine import AtomIndex, ParallelDiscovery
+        from repro.chase import parse_tgds
+
+        tgds = parse_tgds("R(x,y), R(y,z) -> S(x,z)")
+        structure = structure_from_text(
+            ", ".join(f"R({i},{i + 1})" for i in range(10))
+        )
+        index = AtomIndex(structure)
+        pool = ParallelDiscovery(tgds, 2)
+        pool.discover(index, 0, index.watermark())
+        print("SEGS=" + ",".join(pool._store.segment_names()))
+        # exit WITHOUT closing the pool
+        """
+    )
+    src = os.path.join(os.path.dirname(__file__), os.pardir, "src")
+    env = dict(os.environ, PYTHONPATH=os.path.abspath(src))
+    proc = subprocess.run(
+        [sys.executable, "-c", script],
+        capture_output=True, text=True, env=env, timeout=120,
+    )
+    assert proc.returncode == 0, proc.stderr
+    names = [
+        name
+        for line in proc.stdout.splitlines()
+        if line.startswith("SEGS=")
+        for name in line[len("SEGS="):].split(",")
+        if name
+    ]
+    assert names, proc.stdout
+    for name in names:
+        assert not os.path.exists(f"/dev/shm/{name}"), "segment leaked"
+    assert "resource_tracker" not in proc.stderr, proc.stderr
+    assert "BufferError" not in proc.stderr, proc.stderr

@@ -302,10 +302,10 @@ def test_interning_round_trip_and_dense_ids(target):
         assert interner.decode_atom(pid, row) == atom
         assert pid < interner.predicate_count()
         assert all(0 <= tid < interner.term_count() for tid in row)
-        # The posting rows carry the same encoding the interner produces.
+        # The posting columns carry the same encoding the interner produces.
         posting = index.posting(pid)
         offset = posting.atoms.index(atom)
-        assert posting.rows[offset] == row
+        assert posting.row(offset) == row
     # IDs are dense: exactly one per distinct term/predicate ever interned.
     assert len({interner.term(i) for i in range(interner.term_count())}) == (
         interner.term_count()
