@@ -19,6 +19,13 @@ byte total is positive — the posting columns were mapped in place, not
 pickled — while the per-stage ``parallel.worker`` control messages stay
 small, and the parallel result must be atom-for-atom identical to the
 serial one.
+
+A third traced run arms the fault injector (one worker crash mid-stage)
+under supervision and audits the fault ledger: the run must stay
+bit-identical to serial, and the ``parallel.fault.*`` / ``parallel.retry``
+/ ``parallel.degrade`` event counts folded out of the trace must equal the
+``ChaseRunStats.faults`` ledger — the two accountings are incremented by
+the same code paths and must never drift.
 """
 
 import os
@@ -26,8 +33,9 @@ import sys
 
 from repro.chase import parse_tgds
 from repro.core.builders import structure_from_text
-from repro.engine import run_chase
+from repro.engine import ResilienceConfig, run_chase
 from repro.engine.shm import SHM_AVAILABLE
+from repro.testing.faults import Fault, FaultPlan, clear_fault_plan, install_fault_plan
 from repro.obs import (
     disable,
     disable_tracing,
@@ -117,12 +125,53 @@ def _audit_parallel(trace_path: str, serial_result):
     return checks
 
 
+def _audit_faulted(trace_path: str, serial_result):
+    """Trace a supervised run with an injected crash; reconcile the ledgers."""
+    tgds = parse_tgds(*RULES)
+    instance = structure_from_text(
+        ", ".join(f"R({i},{i + 1})" for i in range(CHAIN_LENGTH))
+    )
+    install_fault_plan(
+        FaultPlan(faults=[Fault(kind="crash", stage=2, worker=0, task=0)])
+    )
+    enable_tracing(trace_path)
+    try:
+        result = run_chase(
+            tgds, instance, 200, 500_000, workers=2,
+            resilience=ResilienceConfig(stage_deadline=10.0, max_retries=2),
+        )
+    finally:
+        disable_tracing()
+        clear_fault_plan()
+
+    summary = summarize_trace(trace_path)
+    checks = {
+        "faulted bit-identity": (
+            result.structure.atoms() == serial_result.structure.atoms(),
+            True,
+        ),
+        "faulted trace well-formed": (summary.malformed, 0),
+        "fault injected": (result.stats.faults.get("injected", 0), 1),
+        "fault detected": (result.stats.faults.get("detected", 0), 1),
+        # The reconciliation claim itself: trace events == run-stats ledger.
+        "trace ledger == stats ledger": (summary.faults, result.stats.faults),
+    }
+    print()
+    print(summary.render())
+    print()
+    print(result.stats.render())
+    return checks
+
+
 def main(trace_path: str = "chase-trace.jsonl") -> int:
     serial_result, checks = _audit_serial(trace_path)
 
     stem, extension = os.path.splitext(trace_path)
     parallel_trace_path = f"{stem}-parallel{extension or '.jsonl'}"
     checks.update(_audit_parallel(parallel_trace_path, serial_result))
+
+    faulted_trace_path = f"{stem}-faulted{extension or '.jsonl'}"
+    checks.update(_audit_faulted(faulted_trace_path, serial_result))
 
     failures = [
         f"{label}: {got!r} != {want!r}"
@@ -136,8 +185,9 @@ def main(trace_path: str = "chase-trace.jsonl") -> int:
         return 1
     fired = len(serial_result.provenance)
     print(
-        f"\ntrace audit OK: {fired} fired triggers and the workers=2 shm "
-        f"ledger accounted for -> {trace_path}, {parallel_trace_path}"
+        f"\ntrace audit OK: {fired} fired triggers, the workers=2 shm "
+        f"ledger and the fault ledger accounted for -> {trace_path}, "
+        f"{parallel_trace_path}, {faulted_trace_path}"
     )
     return 0
 

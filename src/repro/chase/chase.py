@@ -39,6 +39,18 @@ from .trigger import (
 )
 
 
+class ChaseExecutionError(RuntimeError):
+    """A chase run could not complete for an *operational* reason.
+
+    The typed failure of the execution substrate — worker processes dying,
+    replicas desyncing, deadlines expiring with recovery disabled — as
+    opposed to the *semantic* :class:`ChaseBudgetExceeded`.  The contract of
+    the fault-tolerant parallel engine (:mod:`repro.engine.resilience`) is
+    that every run either completes bit-identical to a serial run or raises
+    a ``ChaseExecutionError`` subclass, never a bare transport exception.
+    """
+
+
 class ChaseBudgetExceeded(RuntimeError):
     """Raised when a chase run exceeds its atom budget (when asked to raise)."""
 

@@ -31,7 +31,7 @@ from __future__ import annotations
 from dataclasses import replace
 from typing import Optional, Sequence, Union
 
-from ..chase.chase import ChaseEngine, ChaseResult
+from ..chase.chase import ChaseEngine, ChaseExecutionError, ChaseResult
 from ..chase.tgd import TGD
 from ..core.structure import Structure
 from .delta import (
@@ -43,6 +43,7 @@ from .delta import (
 )
 from .indexes import AtomIndex, WireCursor, WireSlice
 from .parallel import ParallelDiscovery, WorkerError
+from .resilience import ResilienceConfig, SupervisedDiscovery, resolve_resilience
 from .seminaive import SemiNaiveChaseEngine
 from .strategies import (
     FiringStrategy,
@@ -72,6 +73,7 @@ def make_engine(
     strategy=None,
     workers: Optional[int] = None,
     match_strategy: Optional[str] = None,
+    resilience=None,
 ):
     """Resolve the shared ``engine=`` parameter into a ready-to-run engine.
 
@@ -90,6 +92,12 @@ def make_engine(
     :func:`repro.engine.delta.select_delta_executor`); output is
     bit-identical under every choice, and the reference engine — which does
     not run the compiled runtime — accepts only ``None`` / ``"nested"``.
+    ``resilience`` tunes the parallel pool's fault tolerance
+    (:mod:`repro.engine.resilience`): ``None`` keeps the instance's setting
+    (supervised defaults for fresh engines), ``False`` restores strict
+    fail-fast, a :class:`~repro.engine.resilience.ResilienceConfig` sets
+    deadlines/retries/fallback; the reference engine — which has no pool —
+    accepts only ``None`` / ``False``.
     """
     if engine is None:
         engine = DEFAULT_ENGINE
@@ -113,6 +121,11 @@ def make_engine(
                     "match strategies are a semi-naive engine feature; "
                     "the reference engine never runs the compiled executors"
                 )
+            if resilience not in (None, False):
+                raise ValueError(
+                    "resilience supervision is a semi-naive engine feature; "
+                    "the reference engine has no worker pool to supervise"
+                )
             return replace(
                 engine,
                 tgds=list(tgds),
@@ -132,6 +145,7 @@ def make_engine(
             match_strategy=(
                 engine.match_strategy if match_strategy is None else match_strategy
             ),
+            resilience=engine.resilience if resilience is None else resilience,
         )
     if isinstance(engine, str):
         name = engine.lower()
@@ -144,6 +158,7 @@ def make_engine(
                 strategy=resolve_strategy(strategy),
                 workers=workers or 0,
                 match_strategy=match_strategy or "nested",
+                resilience=resilience,
             )
         if name in _REFERENCE_NAMES:
             if strategy is not None:
@@ -163,6 +178,11 @@ def make_engine(
                 raise ValueError(
                     "parallel discovery is a semi-naive engine feature; "
                     "the reference engine is strictly serial"
+                )
+            if resilience not in (None, False):
+                raise ValueError(
+                    "resilience supervision is a semi-naive engine feature; "
+                    "the reference engine has no worker pool to supervise"
                 )
             return ChaseEngine(
                 tgds=list(tgds),
@@ -187,6 +207,7 @@ def run_chase(
     strategy=None,
     workers: Optional[int] = None,
     match_strategy: Optional[str] = None,
+    resilience=None,
 ) -> ChaseResult:
     """Run the (bounded) chase of *instance* under *tgds* on a chosen engine.
 
@@ -196,6 +217,9 @@ def run_chase(
     is bit-identical to the serial run.  ``match_strategy`` selects the
     compiled executor for delta matching (``"wcoj"`` enables the
     worst-case-optimal generic join; output is identical either way).
+    ``resilience`` tunes (or, with ``False``, disables) the pool's fault
+    supervision — see :mod:`repro.engine.resilience`; recovery never
+    changes output, only whether a faulted run survives.
     """
     resolved = make_engine(
         engine,
@@ -206,6 +230,7 @@ def run_chase(
         strategy=strategy,
         workers=workers,
         match_strategy=match_strategy,
+        resilience=resilience,
     )
     try:
         return resolved.run(instance)
@@ -220,11 +245,14 @@ def run_chase(
 
 __all__ = [
     "AtomIndex",
+    "ChaseExecutionError",
     "DEFAULT_ENGINE",
     "EngineSpec",
     "FiringStrategy",
     "ParallelDiscovery",
+    "ResilienceConfig",
     "SemiNaiveChaseEngine",
+    "SupervisedDiscovery",
     "WireCursor",
     "WireSlice",
     "WorkerError",
@@ -235,6 +263,7 @@ __all__ = [
     "lazy_strategy",
     "make_engine",
     "oblivious_strategy",
+    "resolve_resilience",
     "resolve_strategy",
     "run_chase",
     "select_delta_executor",

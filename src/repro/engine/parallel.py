@@ -46,6 +46,36 @@ How a stage's discovery runs with ``workers=N``:
    (``tests/test_differential_modes.py``) pins this across strategies and
    worker counts.
 
+Fault tolerance
+---------------
+
+:meth:`ParallelDiscovery.run_stage` is the supervised primitive underneath
+:mod:`repro.engine.resilience`: it dispatches a stage, gathers with an
+optional **deadline** (``multiprocessing.connection.wait``), and instead of
+raising on the first problem returns a :class:`StageOutcome` that records,
+per failed worker, *what* went wrong (``crash`` — the pipe hit EOF or the
+send broke; ``hang`` — the deadline expired; ``generation`` / ``truncate``
+/ ``attach`` — the worker's replica validation tripped, see
+:class:`ReplicaDesync`; ``error`` — any other remote exception) and *which
+tasks* were lost.  With ``heal=True`` every faulted worker is terminated
+and respawned against the **current** shm generation: a respawned worker is
+marked *fresh* and receives a full-state sync
+(:meth:`~repro.engine.shm.SharedColumnStore.snapshot` / a full
+``export_slice``) on its next dispatch instead of an incremental suffix it
+could not interpret.  Because the merge is keyed by the task list — never
+by which worker computed a row, or when — re-dispatching lost tasks to
+surviving workers is invisible to the result: bit-identity is preserved by
+construction.  The legacy :meth:`discover` keeps the strict pre-PR-8
+contract (any fault poisons the pool and raises :class:`WorkerError`);
+engines get the retrying/degrading behaviour by wrapping the pool in a
+:class:`~repro.engine.resilience.SupervisedDiscovery`.
+
+Deterministic faults for the differential suite are *injected engine-side*
+(:mod:`repro.testing.faults`): crash/hang directives travel inside the
+stage message and sync-level faults tamper the victim's payload before it
+is sent, so the engine knows exactly what it injected and the trace /
+run-stats ledgers reconcile.
+
 The pool is an opt-in: construct the engine (or call ``run_chase``) with
 ``workers=N``; the default stays serial and no existing call site changes
 behaviour.
@@ -54,12 +84,18 @@ behaviour.
 from __future__ import annotations
 
 import multiprocessing
+import os
+import time
 import traceback
-from typing import Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass, field
+from multiprocessing import connection as _mp_connection
+from typing import Dict, List, NamedTuple, Optional, Sequence, Tuple
 
+from ..chase.chase import ChaseExecutionError
 from ..chase.tgd import TGD
 from ..core.terms import is_rigid
 from ..obs.trace import NULL_SPAN, get_tracer
+from ..testing.faults import active_plan, tamper_payload
 from .delta import Assignment, assignment_layout, iter_encoded_matches
 from .indexes import AtomIndex, WireCursor
 from .shm import DEFAULT_INITIAL_CAPACITY, SHM_AVAILABLE, SegmentCache
@@ -76,9 +112,105 @@ MIN_WINDOW_SPLIT = 64
 #: imported modules; ``spawn`` is the portable fallback.
 _START_METHODS = ("fork", "spawn")
 
+#: Exit code of a worker executing an injected ``crash`` directive
+#: (``os._exit`` — no unwind, no atexit; the closest stand-in for SIGKILL
+#: or the OOM killer that still leaves a recognisable status).
+CRASH_EXIT_CODE = 17
 
-class WorkerError(RuntimeError):
-    """A discovery worker raised; carries the remote traceback."""
+
+class WorkerError(ChaseExecutionError):
+    """A discovery worker failed; carries the remote detail.
+
+    A :class:`~repro.chase.chase.ChaseExecutionError`: what escapes to
+    callers when the pool (or its supervisor) has exhausted recovery — never
+    a bare transport exception.
+    """
+
+
+class ReplicaDesync(RuntimeError):
+    """A worker's replica failed validation against the engine's claims.
+
+    Raised *worker-side* before any task runs, when a sync message is
+    inconsistent with the replica's state: a non-reset sync addressed to a
+    replica of a different rebuild generation (``generation mismatch``), or
+    a post-sync atom total short of the count the engine declared in the
+    stage message (``truncated``).  The engine classifies the shipped
+    traceback back into a fault kind; the replica is tainted either way and
+    its worker is respawned (or the pool poisoned) rather than trusted
+    again.
+    """
+
+
+class WorkerFault(NamedTuple):
+    """One worker's failure during a stage, as observed engine-side."""
+
+    worker: int
+    kind: str  # crash | hang | generation | truncate | attach | desync | error
+    detail: str
+    tasks: Tuple[Task, ...]  # the tasks whose rows were lost with it
+
+
+@dataclass
+class StageOutcome:
+    """What :meth:`ParallelDiscovery.run_stage` observed for one dispatch.
+
+    ``rows_by_task`` holds every task that completed; ``faults`` the
+    failures.  ``tasks`` is the task list *of this dispatch* (a retry
+    dispatches only the lost tasks, so a supervisor accumulates
+    ``rows_by_task`` across attempts against the first dispatch's list).
+    """
+
+    tasks: List[Task]
+    rows_by_task: Dict[Task, List[Tuple[int, ...]]] = field(default_factory=dict)
+    faults: List[WorkerFault] = field(default_factory=list)
+    #: Faults injected into this dispatch (:mod:`repro.testing.faults`).
+    injected: int = 0
+
+    @property
+    def lost_tasks(self) -> List[Task]:
+        """Tasks of this dispatch that produced no rows, in task order."""
+        return [task for task in self.tasks if task not in self.rows_by_task]
+
+
+def _classify_failure(traceback_text: str) -> str:
+    """Map a worker's shipped traceback onto a fault kind."""
+    if "ReplicaDesync" in traceback_text:
+        if "truncated" in traceback_text:
+            return "truncate"
+        if "generation mismatch" in traceback_text:
+            return "generation"
+        return "desync"
+    if "FileNotFoundError" in traceback_text:
+        # The only file the worker opens is a shared-memory segment by
+        # name: a vanished (or tampered) directory entry.
+        return "attach"
+    return "error"
+
+
+def merge_rows(
+    tgds: Sequence[TGD],
+    layouts: Sequence[Tuple[str, ...]],
+    index: AtomIndex,
+    tasks: Sequence[Task],
+    rows_by_task: Dict[Task, List[Tuple[int, ...]]],
+) -> List[List[Assignment]]:
+    """Decode gathered rows into per-TGD assignment lists, in task order.
+
+    The canonical merge: iteration follows *tasks* (the dispatch-time list),
+    so which worker computed a row — first try, retry, or the engine's own
+    serial fallback — cannot influence the result.  Shared by the pool and
+    the supervisor (which must merge even after the pool is gone).
+    """
+    term = index.interner.term
+    results: List[List[Assignment]] = [[] for _ in tgds]
+    for task in tasks:
+        layout = layouts[task[0]]
+        bucket = results[task[0]]
+        for row in rows_by_task[task]:
+            bucket.append(
+                {variable: term(vid) for variable, vid in zip(layout, row)}
+            )
+    return results
 
 
 # ----------------------------------------------------------------------
@@ -88,15 +220,31 @@ def _worker_main(conn, tgds: Sequence[TGD]) -> None:
     """The worker process loop: sync the replica, run tasks, ship rows back.
 
     Messages in: ``("run", (transport, payload), delta_lo, stage_start,
-    tasks, strategy)`` where the sync payload is either
-    ``("shm", ShmSync-or-None)`` — attach/re-bind shared-memory segments —
-    or ``("wire", WireSlice-or-None)`` — replay pickled fact rows (the
-    fallback wire); ``("reset",)`` (drop the replica — a keep-alive pool is
-    being re-bound to a fresh engine index, whose sync stream starts over
-    with new stamps and a new interner; segment attachments are kept, the
-    store reuses them); and ``("stop",)``.  Messages out: ``("ok",
+    tasks, strategy, fault_directives, atoms_total)`` where the sync payload
+    is either ``("shm", ShmSync-or-None)`` — attach/re-bind shared-memory
+    segments — or ``("wire", WireSlice-or-None)`` — replay pickled fact rows
+    (the fallback wire); ``("reset",)`` (drop the replica — a keep-alive
+    pool is being re-bound to a fresh engine index, whose sync stream starts
+    over with new stamps and a new interner; segment attachments are kept,
+    the store reuses them); and ``("stop",)``.  Messages out: ``("ok",
     rows_per_task)`` aligned with the incoming task list, or ``("error",
     traceback_text)``.
+
+    Two validations guard the replica before any task runs:
+
+    * **generation** — a non-reset sync must address a replica that has
+      been synced before *and* sits on the same rebuild generation;
+      anything else raises :class:`ReplicaDesync` ("generation mismatch").
+    * **truncation** — ``atoms_total`` is the engine's count of atoms its
+      index holds at dispatch; after applying the payload the replica must
+      hold exactly that many (stamp watermarks are useless here — they stay
+      monotone across rebuilds, so only the atom count is comparable).
+
+    ``fault_directives`` is normally empty; under an armed fault plan it
+    carries ``("crash", ordinal)`` / ``("hang", ordinal, seconds)`` tuples
+    the worker executes at the given task ordinal (``os._exit`` /
+    ``time.sleep``) — the deterministic stand-ins for a killed and a wedged
+    worker.
     """
     # Telemetry is process-local by contract: a fork-started worker inherits
     # the parent's module globals, including an active tracer whose file
@@ -109,9 +257,21 @@ def _worker_main(conn, tgds: Sequence[TGD]) -> None:
 
     _obs_trace._TRACER = None
     _obs_metrics._ACTIVE = None
+    # A fork-started worker also inherits the engine's SIGTERM teardown
+    # chain (repro.engine.shm).  Workers must die *instantly* on terminate —
+    # unwinding would run SharedMemory destructors against still-referenced
+    # replica views and spray BufferError noise on stderr.  Segment unlink
+    # is the engine's job; a worker owns nothing worth unwinding for.
+    import signal as _signal
+
+    try:
+        _signal.signal(_signal.SIGTERM, _signal.SIG_DFL)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
     replica = AtomIndex()
     segments = SegmentCache()
     layouts = [assignment_layout(tgd) for tgd in tgds]
+    synced_once = False
     try:
         while True:
             message = conn.recv()
@@ -134,18 +294,66 @@ def _worker_main(conn, tgds: Sequence[TGD]) -> None:
                 # Segment attachments survive: a reset store recycles its
                 # segments, so the next shm sync re-binds the same names.
                 replica = AtomIndex()
+                synced_once = False
                 continue
             try:
-                _, (transport, payload), delta_lo, stage_start, tasks, strategy = message
+                (
+                    _,
+                    (transport, payload),
+                    delta_lo,
+                    stage_start,
+                    tasks,
+                    strategy,
+                    fault_directives,
+                    atoms_total,
+                ) = message
                 if payload is not None:
+                    if not payload.reset:
+                        if not synced_once:
+                            raise ReplicaDesync(
+                                "generation mismatch: non-reset sync sent "
+                                "to a fresh replica"
+                            )
+                        if payload.rebuilds != replica.rebuilds:
+                            raise ReplicaDesync(
+                                "generation mismatch: sync generation "
+                                f"{payload.rebuilds} != replica generation "
+                                f"{replica.rebuilds}"
+                            )
                     if transport == "shm":
                         replica.apply_shared(payload, segments)
                     else:
                         replica.apply_slice(payload)
+                    synced_once = True
+                if atoms_total is not None:
+                    held = sum(
+                        len(posting.stamps)
+                        for posting in replica.tables()[0].values()
+                    )
+                    if held != atoms_total:
+                        raise ReplicaDesync(
+                            f"truncated sync: replica holds {held} atoms, "
+                            f"engine declared {atoms_total}"
+                        )
+                crash_at: Optional[int] = None
+                hangs: Dict[int, float] = {}
+                for directive in fault_directives:
+                    if directive[0] == "crash":
+                        crash_at = (
+                            directive[1]
+                            if crash_at is None
+                            else min(crash_at, directive[1])
+                        )
+                    elif directive[0] == "hang":
+                        hangs[directive[1]] = directive[2]
                 interner = replica.interner
                 synced = (interner.term_count(), interner.predicate_count())
                 results: List[List[Tuple[int, ...]]] = []
-                for tgd_index, seed_lo, seed_hi in tasks:
+                for ordinal, (tgd_index, seed_lo, seed_hi) in enumerate(tasks):
+                    if ordinal in hangs:
+                        time.sleep(hangs[ordinal])
+                    if crash_at == ordinal:
+                        os._exit(CRASH_EXIT_CODE)
                     results.append(
                         list(
                             iter_encoded_matches(
@@ -185,10 +393,11 @@ def _worker_main(conn, tgds: Sequence[TGD]) -> None:
 class ParallelDiscovery:
     """A pool of discovery workers bound to one TGD set.
 
-    Created per chase run (the workers replicate that run's index
-    incrementally), used once per stage through :meth:`discover`, and closed
-    in the engine's ``finally``.  Also usable directly — the benchmark
-    drives it against a standalone index.
+    Bound to an engine across runs (keep-alive via :meth:`reset`), used once
+    per stage through :meth:`discover` — or, under supervision, through the
+    fault-reporting :meth:`run_stage` — and closed in the engine's
+    ``finally``.  Also usable directly — the benchmark drives it against a
+    standalone index.
     """
 
     def __init__(
@@ -222,27 +431,65 @@ class ParallelDiscovery:
         self._use_shm = self.shared_memory_requested
         self._shm_initial_capacity = shm_initial_capacity
         self._store = None
+        #: Workers respawned since the last full sync: their replicas are
+        #: empty, so their next dispatch must carry full state, not an
+        #: incremental suffix.
+        self._fresh: set = set()
         if start_method is None:
             available = multiprocessing.get_all_start_methods()
             start_method = next(m for m in _START_METHODS if m in available)
-        context = multiprocessing.get_context(start_method)
+        self._context = multiprocessing.get_context(start_method)
         self._conns = []
         self._processes = []
         try:
             for _ in range(workers):
-                parent_conn, child_conn = context.Pipe()
-                process = context.Process(
-                    target=_worker_main,
-                    args=(child_conn, self._tgds),
-                    daemon=True,
-                )
-                process.start()
-                child_conn.close()
+                parent_conn, process = self._spawn_worker()
                 self._conns.append(parent_conn)
                 self._processes.append(process)
         except BaseException:
             self.close()
             raise
+
+    def _spawn_worker(self):
+        """Start one worker process; returns ``(parent_conn, process)``."""
+        parent_conn, child_conn = self._context.Pipe()
+        process = self._context.Process(
+            target=_worker_main,
+            args=(child_conn, self._tgds),
+            daemon=True,
+        )
+        process.start()
+        child_conn.close()
+        return parent_conn, process
+
+    def _respawn_worker(self, worker_id: int) -> None:
+        """Replace worker *worker_id* with a fresh process and pipe.
+
+        Always a terminate-and-replace, even when the old process still
+        looks alive (a hung worker, or one whose replica validation failed
+        mid-apply): its replica can no longer be trusted, and closing the
+        old pipe guarantees a late reply from it can never be mistaken for
+        the new worker's.  The new worker is marked fresh — its next
+        dispatch carries full state against the current shm generation.
+        """
+        conn = self._conns[worker_id]
+        process = self._processes[worker_id]
+        try:
+            conn.close()
+        except OSError:  # pragma: no cover - already broken
+            pass
+        if process.is_alive():
+            process.terminate()
+            process.join(timeout=5)
+            if process.is_alive():  # pragma: no cover - defensive
+                process.kill()
+                process.join(timeout=5)
+        else:
+            process.join(timeout=5)
+        new_conn, new_process = self._spawn_worker()
+        self._conns[worker_id] = new_conn
+        self._processes[worker_id] = new_process
+        self._fresh.add(worker_id)
 
     # ------------------------------------------------------------------
     @property
@@ -281,25 +528,29 @@ class ParallelDiscovery:
     def reset(self) -> None:
         """Drop every worker's replica; the next :meth:`discover` re-syncs.
 
-        The keep-alive handshake: a pool now outlives a single chase run
-        (see :meth:`SemiNaiveChaseEngine.close`), but each run builds a
-        fresh engine-side index whose stamps and interner start over — so
-        the replicas, cursor and pre-interning state must start over with
-        it.  Worker processes (and their imported modules) are reused.
+        The keep-alive handshake: a pool outlives a single chase run (see
+        :meth:`SemiNaiveChaseEngine.close`), but each run builds a fresh
+        engine-side index whose stamps and interner start over — so the
+        replicas, cursor and pre-interning state must start over with it.
+        Worker processes (and their imported modules) are reused.  A worker
+        found dead here (killed between runs) is **respawned**, not fatal:
+        the next sync after a reset ships full state to everyone anyway, so
+        a recovered pool is indistinguishable from a fresh one.
         """
         if self._conns is None:
             raise RuntimeError("discovery pool is closed")
-        try:
-            for conn in self._conns:
+        for worker_id, conn in enumerate(list(self._conns)):
+            try:
                 conn.send(("reset",))
-        except (BrokenPipeError, EOFError, OSError) as error:
-            # A worker died abruptly (kill/OOM): poison the pool so the
-            # engine's closed-pool check rebuilds instead of retrying a
-            # dead pipe forever.
-            self.close()
-            raise WorkerError(f"discovery worker went away: {error!r}") from error
+            except (BrokenPipeError, EOFError, OSError):
+                # Died between runs (kill/OOM).  A respawned worker starts
+                # with an empty replica — exactly the post-reset state.
+                self._respawn_worker(worker_id)
         self._cursor = None
         self._preinterned = False
+        # The first sync of the next run is reset=True full state for every
+        # worker; nobody needs the special fresh-worker payload.
+        self._fresh.clear()
         if self._store is not None and not self._store.closed:
             # Keep the segments (the next run's columns recycle them), but
             # restart the mirror from zero alongside the replicas.
@@ -309,6 +560,7 @@ class ParallelDiscovery:
         """Stop the workers and unlink every segment; idempotent."""
         conns, self._conns = self._conns, None
         processes, self._processes = self._processes, []
+        self._fresh = set()
         for conn in conns or ():
             try:
                 conn.send(("stop",))
@@ -328,12 +580,268 @@ class ParallelDiscovery:
             store.close()
 
     # ------------------------------------------------------------------
+    def run_stage(
+        self,
+        index: AtomIndex,
+        delta_lo: int,
+        stage_start: int,
+        strategy: str = "nested",
+        stage: Optional[int] = None,
+        deadline: Optional[float] = None,
+        tasks: Optional[List[Task]] = None,
+        heal: bool = True,
+    ) -> StageOutcome:
+        """Dispatch one stage (or a retry's task subset) and gather with
+        fault detection; the supervised primitive.
+
+        Never raises on worker failure — failures come back classified in
+        :attr:`StageOutcome.faults` with the tasks they lost, and (with
+        ``heal=True``) every faulted worker has already been replaced by a
+        fresh one marked for full-state sync, so the caller can immediately
+        re-dispatch the lost tasks.  ``deadline`` bounds the *gather* (in
+        seconds): workers still silent when it expires are treated as hung.
+        ``stage`` is the engine's 1-based stage number — the coordinate the
+        fault injector (:mod:`repro.testing.faults`) keys on; injection is
+        disabled when it is ``None``.  The only raise is :class:`WorkerError`
+        when healing itself fails (the pool is closed first).
+        """
+        if self._conns is None:
+            raise RuntimeError("discovery pool is closed")
+        tracer = get_tracer()
+        self._preintern(index)
+        payload = self._sync_payload(index)
+        transport, body = payload
+        if body is not None and body.reset:
+            # A reset sync is full state for everyone; fresh workers need
+            # no special payload this dispatch.
+            self._fresh.clear()
+        if tasks is None:
+            tasks = self._plan_tasks(delta_lo, stage_start)
+        worker_count = len(self._conns)
+        parts = [tasks[offset::worker_count] for offset in range(worker_count)]
+        full_payload = None
+        if self._fresh:
+            full_payload = self._full_payload(index, transport)
+        # The engine's own atom count at dispatch: the truncation oracle the
+        # workers validate against (watermarks are incomparable across
+        # rebuilds; the atom total is not).
+        atoms_total = sum(
+            len(posting.stamps) for posting in index.tables()[0].values()
+        )
+        # ---- deterministic fault injection (engine-side) --------------
+        directives: Dict[int, List[Tuple]] = {}
+        payload_overrides: Dict[int, Tuple[str, object]] = {}
+        injected = 0
+        plan = active_plan() if stage is not None else None
+        if plan is not None:
+            # At most one fault per victim per dispatch: a schedule arming
+            # several faults at the same coordinates spreads them across the
+            # retry attempts (that is how exhaustion scenarios are built),
+            # instead of collapsing into a single doomed dispatch.
+            struck: set = set()
+            for fault in plan.pending_for(stage):
+                victim = fault.worker % worker_count
+                if victim in struck:
+                    continue
+                if fault.kind in ("crash", "hang"):
+                    part = parts[victim]
+                    if not part:
+                        continue  # no task to die on; stays armed
+                    ordinal = fault.task % len(part)
+                    directives.setdefault(victim, []).append(
+                        ("crash", ordinal)
+                        if fault.kind == "crash"
+                        else ("hang", ordinal, fault.hang_seconds)
+                    )
+                else:
+                    current = payload_overrides.get(victim)
+                    if current is None:
+                        current = (
+                            full_payload
+                            if victim in self._fresh and full_payload is not None
+                            else payload
+                        )
+                    tampered = tamper_payload(fault.kind, transport, current[1])
+                    if tampered is None:
+                        continue  # nothing to tamper this stage; stays armed
+                    payload_overrides[victim] = (transport, tampered)
+                struck.add(victim)
+                plan.consume(fault)
+                injected += 1
+                if tracer is not None:
+                    tracer.event(
+                        "parallel.fault.injected",
+                        kind=fault.kind,
+                        stage=stage,
+                        worker=victim,
+                    )
+        # ---- dispatch -------------------------------------------------
+        outcome = StageOutcome(tasks=list(tasks), injected=injected)
+        waiting: Dict[object, Tuple[int, List[Task]]] = {}
+        byte_cache: Dict[int, int] = {}
+        for worker_id, (conn, part) in enumerate(zip(self._conns, parts)):
+            send_payload = payload_overrides.get(worker_id)
+            if send_payload is None:
+                if worker_id in self._fresh and full_payload is not None:
+                    send_payload = full_payload
+                else:
+                    send_payload = payload
+            message = (
+                "run",
+                send_payload,
+                delta_lo,
+                stage_start,
+                part,
+                strategy,
+                tuple(directives.get(worker_id, ())),
+                atoms_total,
+            )
+            try:
+                # Every worker gets the sync payload even when it drew no
+                # tasks — replicas must never fall behind the sync stream.
+                conn.send(message)
+            except (BrokenPipeError, OSError) as error:
+                outcome.faults.append(
+                    WorkerFault(
+                        worker_id,
+                        "crash",
+                        f"dispatch failed: {error!r}",
+                        tuple(part),
+                    )
+                )
+                continue
+            waiting[conn] = (worker_id, part)
+            if worker_id in self._fresh and send_payload is full_payload:
+                self._fresh.discard(worker_id)
+            if tracer is not None:
+                # Priced only while tracing: the engine never serialises the
+                # payload itself (each pipe send does), so this pickle exists
+                # purely to tag the worker events with a byte count.  On the
+                # shm path this is the whole per-stage shipped cost — the
+                # control message; fact bytes live in the segments.
+                import pickle
+
+                sent_body = send_payload[1]
+                wire_bytes = byte_cache.get(id(sent_body))
+                if wire_bytes is None:
+                    wire_bytes = (
+                        0 if sent_body is None else len(pickle.dumps(sent_body))
+                    )
+                    byte_cache[id(sent_body)] = wire_bytes
+                tracer.event(
+                    "parallel.worker",
+                    worker=worker_id,
+                    tasks=len(part),
+                    wire_bytes=wire_bytes,
+                    transport=send_payload[0],
+                )
+        # ---- gather (with optional deadline) --------------------------
+        deadline_at = None if deadline is None else time.monotonic() + deadline
+        while waiting:
+            timeout = (
+                None
+                if deadline_at is None
+                else max(0.0, deadline_at - time.monotonic())
+            )
+            ready = _mp_connection.wait(list(waiting), timeout)
+            if not ready:
+                # Deadline expired: everything still silent is hung.
+                for conn, (worker_id, part) in waiting.items():
+                    outcome.faults.append(
+                        WorkerFault(
+                            worker_id,
+                            "hang",
+                            f"no reply within the stage deadline of "
+                            f"{deadline}s",
+                            tuple(part),
+                        )
+                    )
+                break
+            for conn in ready:
+                worker_id, part = waiting.pop(conn)
+                try:
+                    reply = conn.recv()
+                except (EOFError, OSError) as error:
+                    outcome.faults.append(
+                        WorkerFault(
+                            worker_id,
+                            "crash",
+                            f"worker died mid-stage: {error!r}",
+                            tuple(part),
+                        )
+                    )
+                    continue
+                if reply[0] == "error":
+                    outcome.faults.append(
+                        WorkerFault(
+                            worker_id,
+                            _classify_failure(reply[1]),
+                            reply[1],
+                            tuple(part),
+                        )
+                    )
+                    continue
+                for task, rows in zip(part, reply[1]):
+                    outcome.rows_by_task[task] = rows
+        # ---- heal -----------------------------------------------------
+        if heal and outcome.faults:
+            try:
+                for fault in outcome.faults:
+                    self._respawn_worker(fault.worker)
+            except BaseException as error:
+                self.close()
+                raise WorkerError(
+                    f"could not respawn discovery workers: {error!r}"
+                ) from error
+        return outcome
+
+    # ------------------------------------------------------------------
+    def merge(
+        self, outcome_tasks: Sequence[Task], rows_by_task, index: AtomIndex
+    ) -> List[List[Assignment]]:
+        """Canonical merge of gathered rows (see :func:`merge_rows`)."""
+        return merge_rows(
+            self._tgds, self._layouts, index, outcome_tasks, rows_by_task
+        )
+
+    def serial_rows(
+        self,
+        index: AtomIndex,
+        task: Task,
+        delta_lo: int,
+        stage_start: int,
+        strategy: str = "nested",
+    ) -> List[Tuple[int, ...]]:
+        """One task's rows computed engine-side — the serial fallback.
+
+        Exactly the enumeration a worker would have run
+        (:func:`~repro.engine.delta.iter_encoded_matches` over the same
+        windows), against the engine's own index: slotting the result into
+        ``rows_by_task`` is indistinguishable from a worker reply.
+        """
+        tgd_index, seed_lo, seed_hi = task
+        return list(
+            iter_encoded_matches(
+                self._tgds[tgd_index],
+                self._layouts[tgd_index],
+                index,
+                delta_lo,
+                stage_start,
+                seed_lo,
+                seed_hi,
+                strategy,
+            )
+        )
+
+    # ------------------------------------------------------------------
     def discover(
         self,
         index: AtomIndex,
         delta_lo: int,
         stage_start: int,
         strategy: str = "nested",
+        stage: Optional[int] = None,
+        deadline: Optional[float] = None,
     ) -> List[List[Assignment]]:
         """One stage's batch discovery, fanned out and canonically merged.
 
@@ -346,6 +854,13 @@ class ParallelDiscovery:
         executor inside each worker (the engine forwards its
         ``match_strategy``); replica trie/plan caches persist across stages
         either way.
+
+        This is the *strict* entry point: any worker fault poisons the pool
+        (closed, so replicas that may have desynced can never serve again)
+        and raises :class:`WorkerError`.  Retry, respawn and serial
+        degradation live one layer up, in
+        :class:`~repro.engine.resilience.SupervisedDiscovery`, which drives
+        :meth:`run_stage` directly.
         """
         if self._conns is None:
             raise RuntimeError("discovery pool is closed")
@@ -361,73 +876,30 @@ class ParallelDiscovery:
             else NULL_SPAN
         )
         with span:
-            self._preintern(index)
-            payload = self._sync_payload(index)
-            tasks = self._plan_tasks(delta_lo, stage_start)
-            worker_count = len(self._conns)
-            parts = [
-                tasks[offset::worker_count] for offset in range(worker_count)
-            ]
-            wire_bytes = 0
-            if tracer is not None:
-                # Priced only while tracing: the engine never serialises the
-                # payload itself (each pipe send does), so this pickle exists
-                # purely to tag the worker events with a byte count.  On the
-                # shm path this is the whole per-stage shipped cost — the
-                # control message; fact bytes live in the segments.
-                import pickle
-
-                body = payload[1]
-                wire_bytes = 0 if body is None else len(pickle.dumps(body))
-            rows_by_task: Dict[Task, List[Tuple[int, ...]]] = {}
-            failure: Optional[str] = None
-            try:
-                for worker_id, (conn, part) in enumerate(zip(self._conns, parts)):
-                    # Every worker gets the sync payload even when it drew no
-                    # tasks — replicas must never fall behind the sync
-                    # stream.
-                    conn.send(("run", payload, delta_lo, stage_start, part, strategy))
-                    if tracer is not None:
-                        tracer.event(
-                            "parallel.worker",
-                            worker=worker_id,
-                            tasks=len(part),
-                            wire_bytes=wire_bytes,
-                            transport=payload[0],
-                        )
-                for conn, part in zip(self._conns, parts):
-                    reply = conn.recv()
-                    if reply[0] == "error":
-                        failure = reply[1]
-                        continue
-                    for task, rows in zip(part, reply[1]):
-                        rows_by_task[task] = rows
-            except (BrokenPipeError, EOFError, OSError) as error:
-                # Transport-level death (a worker was killed mid-stage): same
-                # poisoning discipline as the graceful "error" reply below.
-                self.close()
-                raise WorkerError(
-                    f"discovery worker went away: {error!r}"
-                ) from error
-            if failure is not None:
+            outcome = self.run_stage(
+                index,
+                delta_lo,
+                stage_start,
+                strategy,
+                stage=stage,
+                deadline=deadline,
+                heal=False,
+            )
+            if outcome.faults:
                 # A failed worker may have applied the slice only partially,
-                # and the cursor above has already advanced past it: the
+                # and the wire cursor has already advanced past it: the
                 # replicas can no longer be trusted to match the export
-                # stream.  Poison the pool so a caller that catches the error
-                # cannot keep using silently-desynced replicas.
+                # stream.  Poison the pool so a caller that catches the
+                # error cannot keep using silently-desynced replicas.
                 self.close()
-                raise WorkerError(f"discovery worker failed:\n{failure}")
-            term = index.interner.term
-            results: List[List[Assignment]] = [[] for _ in self._tgds]
-            for task in tasks:
-                layout = self._layouts[task[0]]
-                bucket = results[task[0]]
-                for row in rows_by_task[task]:
-                    bucket.append(
-                        {variable: term(vid) for variable, vid in zip(layout, row)}
-                    )
+                detail = "\n".join(
+                    f"[worker {fault.worker}: {fault.kind}]\n{fault.detail}"
+                    for fault in outcome.faults
+                )
+                raise WorkerError(f"discovery worker failed:\n{detail}")
+            results = self.merge(outcome.tasks, outcome.rows_by_task, index)
             span.note(
-                tasks=len(tasks),
+                tasks=len(outcome.tasks),
                 candidates=sum(len(bucket) for bucket in results),
             )
         return results
@@ -476,6 +948,19 @@ class ParallelDiscovery:
                     predicate_count=predicates,
                 )
         wire, self._cursor = index.export_slice(self._cursor)
+        return ("wire", wire)
+
+    def _full_payload(self, index: AtomIndex, transport: str):
+        """A full-state sync for a fresh (respawned) worker's empty replica.
+
+        Must match the *transport the others are on* this stage, and must
+        not disturb the incremental stream: the shm snapshot re-ships the
+        retained directory, the wire path exports from a ``None`` cursor
+        without advancing the pool's own.
+        """
+        if transport == "shm" and self._store is not None:
+            return ("shm", self._store.snapshot(index))
+        wire, _ = index.export_slice(None)
         return ("wire", wire)
 
     def _preintern(self, index: AtomIndex) -> None:

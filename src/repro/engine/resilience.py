@@ -1,0 +1,361 @@
+"""Fault-tolerant supervision of the parallel discovery pool.
+
+The parallel chase of :mod:`repro.engine.parallel` was built strict: any
+worker failure poisoned the pool and surfaced as a
+:class:`~repro.engine.parallel.WorkerError`, and the run died with it.
+Correct, but brittle — a single OOM-killed worker (or a full ``/dev/shm``
+on one attach) should not cost a long chase its progress when the stage's
+lost work is both *detectable* and *recomputable*.  This module is the
+supervision layer that makes the parallel engine degrade instead of die:
+
+**Tier 0 — retry in place.**  :class:`SupervisedDiscovery` drives the
+pool's fault-reporting primitive
+(:meth:`~repro.engine.parallel.ParallelDiscovery.run_stage`): a stage is
+dispatched with an optional **deadline**; workers that crash (pipe EOF),
+hang (deadline expiry) or fail replica validation (generation mismatch,
+truncated sync, segment attach failure) are terminated and **respawned
+against the current shm generation** — a respawned worker receives a
+full-state sync (:meth:`~repro.engine.shm.SharedColumnStore.snapshot`),
+never an incremental suffix it could not interpret — and only the *lost
+tasks* are re-dispatched, with exponential backoff between attempts.
+
+**Tier 1 — serial fallback.**  When a stage exhausts its retry budget (or
+the pool itself cannot be healed), the supervisor computes the still-missing
+tasks **engine-side** via the exact per-task enumeration the workers run
+(:func:`~repro.engine.delta.iter_encoded_matches` over the same seed
+windows), closes the pool, and runs every subsequent stage of the run
+serially.  Degradation is terminal *per run*: the next run on a keep-alive
+engine builds a fresh pool and is parallel again.
+
+**Bit-identity throughout.**  The canonical merge is keyed by the dispatch
+task list — never by which worker (or which attempt, or which tier)
+produced a row — so retried, re-dispatched and serially-recomputed
+partitions are indistinguishable in the output.  The differential suite
+(``tests/test_resilience.py``) pins this: every fault class, at seeded
+random coordinates, either completes bit-identical to a serial run or
+raises a typed :class:`~repro.chase.chase.ChaseExecutionError`.
+
+Every decision is observable: ``parallel.fault.injected`` (from the
+injector), ``parallel.fault.<kind>`` per detected fault, ``parallel.retry``
+per re-dispatch and ``parallel.degrade`` at the tier switch are emitted as
+trace events (:mod:`repro.obs`), and the same counters land on
+``ChaseRunStats.faults`` — the two ledgers are incremented by the same code
+paths, so a trace summary and the run stats always agree.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from ..chase.chase import ChaseExecutionError
+from ..chase.tgd import TGD
+from ..obs.trace import NULL_SPAN, get_tracer
+from .delta import Assignment, assignment_layout, compiled_delta_matches
+from .parallel import ParallelDiscovery, Task, WorkerError, merge_rows
+
+
+@dataclass(frozen=True)
+class ResilienceConfig:
+    """Knobs of the supervision layer.
+
+    The defaults recover from transient faults without changing the timing
+    of a healthy run: no deadline (a hung worker then only surfaces through
+    pipe death), two retries with a short exponential backoff, and serial
+    fallback as the terminal tier.  ``serial_fallback=False`` turns
+    exhausted recovery into a typed
+    :class:`~repro.chase.chase.ChaseExecutionError` instead — for callers
+    that would rather fail a run than absorb a serial stage.
+    """
+
+    enabled: bool = True
+    #: Per-stage gather deadline in seconds (``None`` = wait forever).
+    #: Required for *hang* detection — crashes are caught without it.
+    stage_deadline: Optional[float] = None
+    #: Re-dispatch attempts per stage after the initial dispatch.
+    max_retries: int = 2
+    #: Sleep before retry ``k`` is ``backoff_seconds * 2**(k-1)``.
+    backoff_seconds: float = 0.05
+    #: Exhausted retries: recompute the lost tasks serially and degrade the
+    #: rest of the run (True), or raise ``ChaseExecutionError`` (False).
+    serial_fallback: bool = True
+
+    @classmethod
+    def from_env(cls) -> "ResilienceConfig":
+        """The config with ``REPRO_*`` environment overrides applied.
+
+        ``REPRO_STAGE_DEADLINE`` (float seconds), ``REPRO_MAX_RETRIES``
+        (int), ``REPRO_SERIAL_FALLBACK`` (``0``/``1``) — the service-style
+        knobs, so a deployment can tighten supervision without code.
+        """
+        deadline = os.environ.get("REPRO_STAGE_DEADLINE")
+        retries = os.environ.get("REPRO_MAX_RETRIES")
+        fallback = os.environ.get("REPRO_SERIAL_FALLBACK")
+        return cls(
+            stage_deadline=float(deadline) if deadline else cls.stage_deadline,
+            max_retries=int(retries) if retries else cls.max_retries,
+            serial_fallback=(
+                fallback not in ("0", "false", "no")
+                if fallback is not None
+                else cls.serial_fallback
+            ),
+        )
+
+
+def resolve_resilience(spec) -> Optional[ResilienceConfig]:
+    """Normalise an engine's ``resilience`` field to a config or ``None``.
+
+    ``None`` (the default) means *supervised with environment defaults*;
+    ``False`` disables supervision (the strict pre-PR-8 behaviour);
+    ``True`` is the default config; a :class:`ResilienceConfig` is taken
+    as-is.  Returns ``None`` exactly when supervision is off.
+    """
+    if spec is False:
+        return None
+    if spec is None or spec is True:
+        return ResilienceConfig.from_env()
+    if isinstance(spec, ResilienceConfig):
+        return spec if spec.enabled else None
+    raise TypeError(
+        f"resilience must be None, a bool or a ResilienceConfig, "
+        f"got {type(spec).__name__}"
+    )
+
+
+class SupervisedDiscovery:
+    """Per-run supervisor wrapping one :class:`ParallelDiscovery` pool.
+
+    Drop-in for the pool at the engine's discovery call site — same
+    ``discover(index, delta_lo, stage_start, strategy=..., stage=...)``
+    shape, same per-TGD assignment lists, same single
+    ``parallel.discover`` span per stage — but faults inside the stage are
+    retried, healed or degraded per the :class:`ResilienceConfig` instead
+    of poisoning the run.  One supervisor serves one run: :attr:`degraded`
+    and the :attr:`counts` ledger are per-run state.
+    """
+
+    def __init__(
+        self,
+        pool: Optional[ParallelDiscovery],
+        config: ResilienceConfig,
+        tgds: Sequence[TGD],
+    ) -> None:
+        self._pool = pool
+        self._config = config
+        self._tgds = list(tgds)
+        self._layouts = [assignment_layout(tgd) for tgd in self._tgds]
+        #: True once the run fell back to serial discovery for good.
+        self.degraded = False
+        #: The fault ledger: mirrors the trace events one-for-one, and is
+        #: copied onto ``ChaseRunStats.faults`` at run end.
+        self.counts: Dict[str, int] = {
+            "injected": 0,
+            "detected": 0,
+            "retried": 0,
+            "degraded": 0,
+        }
+
+    # ------------------------------------------------------------------
+    def discover(
+        self,
+        index,
+        delta_lo: int,
+        stage_start: int,
+        strategy: str = "nested",
+        stage: Optional[int] = None,
+    ) -> List[List[Assignment]]:
+        """One stage's discovery under supervision (see the module docs)."""
+        tracer = get_tracer()
+        pool = self._pool
+        pool_live = pool is not None and not pool.closed
+        span = (
+            tracer.span(
+                "parallel.discover",
+                workers=pool.workers if pool_live else 0,
+                delta_lo=delta_lo,
+                stage_start=stage_start,
+                supervised=True,
+            )
+            if tracer is not None
+            else NULL_SPAN
+        )
+        with span:
+            if self.degraded or not pool_live:
+                results = self._serial_all(index, delta_lo, stage_start, strategy)
+                span.note(
+                    degraded=True,
+                    candidates=sum(len(bucket) for bucket in results),
+                )
+                return results
+            config = self._config
+            rows_by_task: Dict[Task, List] = {}
+            tasks: Optional[List[Task]] = None
+            lost: Optional[List[Task]] = None  # None = full dispatch
+            attempt = 0
+            while True:
+                try:
+                    outcome = pool.run_stage(
+                        index,
+                        delta_lo,
+                        stage_start,
+                        strategy,
+                        stage=stage,
+                        deadline=config.stage_deadline,
+                        tasks=lost,
+                        heal=True,
+                    )
+                except WorkerError as error:
+                    # The pool itself could not be healed (respawn failed;
+                    # it is already closed).  Terminal for the pool: either
+                    # finish this stage — and the run — serially, or
+                    # surface the typed error.
+                    if not config.serial_fallback:
+                        raise
+                    if tasks is None:
+                        # Nothing dispatched yet: the whole stage (and the
+                        # rest of the run) goes serial.
+                        self._degrade(
+                            tracer, stage, f"pool unrecoverable: {error}", []
+                        )
+                        results = self._serial_all(
+                            index, delta_lo, stage_start, strategy
+                        )
+                        span.note(
+                            degraded=True,
+                            candidates=sum(len(b) for b in results),
+                        )
+                        return results
+                    lost = [t for t in tasks if t not in rows_by_task]
+                    self._degrade(
+                        tracer, stage, f"pool unrecoverable: {error}", lost
+                    )
+                    for task in lost:
+                        rows_by_task[task] = self._serial_task(
+                            index, task, delta_lo, stage_start, strategy
+                        )
+                    break
+                if tasks is None:
+                    # The merge is keyed by the *first* dispatch's task
+                    # list; retries only ever narrow it.
+                    tasks = outcome.tasks
+                rows_by_task.update(outcome.rows_by_task)
+                self.counts["injected"] += outcome.injected
+                if not outcome.faults:
+                    break
+                for fault in outcome.faults:
+                    self.counts["detected"] += 1
+                    if tracer is not None:
+                        tracer.event(
+                            f"parallel.fault.{fault.kind}",
+                            worker=fault.worker,
+                            stage=stage,
+                            lost_tasks=len(fault.tasks),
+                        )
+                lost = [t for t in tasks if t not in rows_by_task]
+                if not lost:
+                    # Faulted workers carried no tasks (sync-only victims):
+                    # they are respawned, nothing to recompute.
+                    break
+                if attempt >= config.max_retries:
+                    if not config.serial_fallback:
+                        detail = "; ".join(
+                            f"worker {f.worker}: {f.kind}"
+                            for f in outcome.faults
+                        )
+                        raise ChaseExecutionError(
+                            f"stage {stage}: {len(lost)} discovery task(s) "
+                            f"still lost after {attempt} retries ({detail}) "
+                            f"and serial fallback is disabled"
+                        )
+                    self._degrade(
+                        tracer,
+                        stage,
+                        f"retry budget of {config.max_retries} exhausted",
+                        lost,
+                    )
+                    for task in lost:
+                        rows_by_task[task] = self._serial_task(
+                            index, task, delta_lo, stage_start, strategy
+                        )
+                    break
+                attempt += 1
+                self.counts["retried"] += 1
+                if tracer is not None:
+                    tracer.event(
+                        "parallel.retry",
+                        stage=stage,
+                        attempt=attempt,
+                        lost_tasks=len(lost),
+                    )
+                if config.backoff_seconds > 0:
+                    time.sleep(config.backoff_seconds * 2 ** (attempt - 1))
+            results = merge_rows(
+                self._tgds, self._layouts, index, tasks, rows_by_task
+            )
+            span.note(
+                tasks=len(tasks),
+                candidates=sum(len(bucket) for bucket in results),
+                degraded=self.degraded,
+            )
+        return results
+
+    # ------------------------------------------------------------------
+    def _degrade(self, tracer, stage, reason: str, lost: List[Task]) -> None:
+        """Flip to the terminal serial tier (idempotent per run)."""
+        if not self.degraded:
+            self.degraded = True
+            self.counts["degraded"] += 1
+            if tracer is not None:
+                tracer.event(
+                    "parallel.degrade",
+                    stage=stage,
+                    reason=reason,
+                    lost_tasks=len(lost),
+                )
+        pool = self._pool
+        if pool is not None and not pool.closed:
+            # Workers and segments are of no further use this run; release
+            # them now rather than at run end.
+            pool.close()
+
+    def _serial_task(
+        self, index, task: Task, delta_lo: int, stage_start: int, strategy: str
+    ) -> List:
+        """One lost task recomputed engine-side (the workers' enumeration)."""
+        from .delta import iter_encoded_matches
+
+        tgd_index, seed_lo, seed_hi = task
+        return list(
+            iter_encoded_matches(
+                self._tgds[tgd_index],
+                self._layouts[tgd_index],
+                index,
+                delta_lo,
+                stage_start,
+                seed_lo,
+                seed_hi,
+                strategy,
+            )
+        )
+
+    def _serial_all(
+        self, index, delta_lo: int, stage_start: int, strategy: str
+    ) -> List[List[Assignment]]:
+        """A fully serial stage — the post-degrade (tier 1) path."""
+        return [
+            list(
+                compiled_delta_matches(
+                    tgd, index, delta_lo, stage_start, strategy=strategy
+                )
+            )
+            for tgd in self._tgds
+        ]
+
+
+__all__ = [
+    "ResilienceConfig",
+    "SupervisedDiscovery",
+    "resolve_resilience",
+]

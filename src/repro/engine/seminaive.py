@@ -39,6 +39,7 @@ from ..obs.report import ChaseRunStats, StageStats
 from ..obs.trace import NULL_SPAN, get_tracer
 from .delta import Assignment, compiled_delta_matches
 from .indexes import AtomIndex
+from .resilience import SupervisedDiscovery, resolve_resilience
 from .strategies import FiringStrategy, lazy_strategy
 
 
@@ -81,6 +82,18 @@ class SemiNaiveChaseEngine:
     #: large posting lists).  Discovery enumerates the same match set under
     #: every strategy, so the chase output is bit-identical regardless.
     match_strategy: str = "nested"
+    #: Fault tolerance of the parallel discovery pool
+    #: (:mod:`repro.engine.resilience`): ``None`` (the default) supervises
+    #: with environment-tunable defaults — dead workers are respawned
+    #: against the current shm generation, lost partitions re-dispatched
+    #: with bounded retry, and exhausted recovery degrades the run to
+    #: serial discovery; ``False`` restores the strict behaviour (any
+    #: worker fault poisons the pool and raises
+    #: :class:`~repro.engine.parallel.WorkerError`); a
+    #: :class:`~repro.engine.resilience.ResilienceConfig` tunes deadlines,
+    #: retries and the fallback tier.  Output stays bit-identical on every
+    #: recovery path — only availability changes.
+    resilience: object = None
     #: Collect a :class:`~repro.obs.report.ChaseRunStats` for the run and
     #: attach it as ``result.stats`` (per-stage candidates/fired/atoms plus
     #: discovery/dedup/fire wall times — a handful of clock reads per stage).
@@ -174,6 +187,12 @@ class SemiNaiveChaseEngine:
         reached_fixpoint = False
         delta_lo = 0
         pool = self._ensure_pool()
+        supervisor = None
+        if pool is not None:
+            config = resolve_resilience(self.resilience)
+            if config is not None:
+                supervisor = SupervisedDiscovery(pool, config, self.tgds)
+        discoverer = supervisor if supervisor is not None else pool
         # Telemetry handles are fetched once per run; when everything is
         # disabled (tracer None, registry None, collect_stats False) the
         # whole run takes the exact pre-telemetry path — no clock reads, no
@@ -229,7 +248,7 @@ class SemiNaiveChaseEngine:
                             null_factory,
                             provenance,
                             stage,
-                            pool,
+                            discoverer,
                             stats=stage_stats,
                             tracer=tracer,
                             span=stage_span,
@@ -249,6 +268,14 @@ class SemiNaiveChaseEngine:
                                 f"chase exceeded the atom budget of {max_atoms}"
                             )
                         break
+            except BaseException:
+                # No exception path may leak worker processes or shm
+                # segments: a budget overrun, a typed execution error or a
+                # KeyboardInterrupt all tear the keep-alive pool down (the
+                # pool's close also unlinks its store's segments).  The next
+                # run rebuilds a fresh pool.
+                self.close()
+                raise
             finally:
                 if pool is not None and pool.closed:
                     # A failed worker poisons (closes) the pool mid-run; drop
@@ -264,6 +291,11 @@ class SemiNaiveChaseEngine:
                 else:
                     index.detach()
             if stats is not None:
+                if supervisor is not None:
+                    # The supervisor's ledger mirrors the parallel.fault.*
+                    # trace events one-for-one; exposing it on the stats
+                    # makes `trace summary == run stats` assertable.
+                    stats.faults = dict(supervisor.counts)
                 self._finish_stats(stats, index, run_started, registry)
                 run_span.note(
                     stages=len(stats.stages),
@@ -336,6 +368,9 @@ class SemiNaiveChaseEngine:
             )
             registry.gauge("engine.watermark").set(shape["watermark"])
             registry.gauge("engine.interner_terms").set(shape["terms"])
+            if any(stats.faults.values()):
+                for key, value in stats.faults.items():
+                    registry.counter(f"engine.faults_{key}").inc(value)
 
     # ------------------------------------------------------------------
     def _run_stage(
@@ -385,8 +420,16 @@ class SemiNaiveChaseEngine:
         with discover_span:
             if pool is not None:
                 started = CLOCK() if timed else 0.0
+                # ``pool`` is either the raw ParallelDiscovery (strict) or a
+                # SupervisedDiscovery (fault-tolerant) — same discover shape.
+                # The stage number travels down as the coordinate the fault
+                # injector and the retry/degrade events key on.
                 per_tgd: Iterable[Iterable[Assignment]] = pool.discover(
-                    index, delta_lo, stage_start, strategy=self.match_strategy
+                    index,
+                    delta_lo,
+                    stage_start,
+                    strategy=self.match_strategy,
+                    stage=stage,
                 )
                 if timed:
                     discovery_seconds += CLOCK() - started

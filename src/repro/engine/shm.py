@@ -48,7 +48,9 @@ from __future__ import annotations
 
 import atexit
 import os
+import signal
 import uuid
+import weakref
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Tuple
 
@@ -136,6 +138,45 @@ def _attach_segment(name: str):
         resource_tracker.register = original
 
 
+#: Live stores in this process, so the SIGTERM handler can tear them down
+#: even when the signal arrives mid-stage (weak: a collected store has
+#: already unlinked via its own finaliser path or leaked irrecoverably).
+_STORES: "weakref.WeakSet[SharedColumnStore]" = weakref.WeakSet()
+_SIGTERM_INSTALLED = False
+
+
+def _sigterm_teardown(signum, frame):  # pragma: no cover - exercised via subprocess
+    for store in list(_STORES):
+        try:
+            store.close()
+        except Exception:
+            pass
+    # Raising SystemExit lets the interpreter unwind normally (finally
+    # blocks, atexit) instead of dying with segments still linked.
+    raise SystemExit(128 + signum)
+
+
+def _install_sigterm_chain() -> None:
+    """Install segment teardown on SIGTERM, once, only over the default.
+
+    A process killed with SIGTERM while a stage is in flight would otherwise
+    leave its ``/dev/shm`` segments linked (the default handler exits
+    without unwinding).  We never displace a handler the application chose —
+    only ``SIG_DFL`` is replaced — and the installed handler is pid-safe via
+    :meth:`SharedColumnStore.close`'s owner check, so a forked worker that
+    inherits it cannot unlink the engine's live segments.
+    """
+    global _SIGTERM_INSTALLED
+    if _SIGTERM_INSTALLED:
+        return
+    _SIGTERM_INSTALLED = True
+    try:
+        if signal.getsignal(signal.SIGTERM) is signal.SIG_DFL:
+            signal.signal(signal.SIGTERM, _sigterm_teardown)
+    except (ValueError, OSError):  # pragma: no cover - non-main thread
+        pass
+
+
 class _Retired:
     """Segments whose buffers may still be referenced (exported views).
 
@@ -197,8 +238,17 @@ class SharedColumnStore:
         self._predicates = 0
         self._first_sync = True
         self._closed = False
+        #: The directory of the most recent sync — what a *full-state*
+        #: :meth:`snapshot` for a respawned worker re-ships.
+        self._directory: Tuple[SegmentEntry, ...] = ()
+        #: Unlinking is the owner's job alone: a forked child that inherits
+        #: this object (atexit entry, SIGTERM handler) must never destroy
+        #: segments the engine is still serving to other workers.
+        self._owner_pid = os.getpid()
         #: Total segment bytes currently allocated (the grow telemetry).
         self.allocated_bytes = 0
+        _STORES.add(self)
+        _install_sigterm_chain()
         atexit.register(self.close)
 
     # ------------------------------------------------------------------
@@ -234,32 +284,47 @@ class SharedColumnStore:
         self._terms = 0
         self._predicates = 0
         self._first_sync = True
+        self._directory = ()
 
     def close(self) -> None:
-        """Unlink every segment; idempotent, also runs at interpreter exit."""
-        if self._closed:
+        """Unlink every segment; idempotent, also runs at interpreter exit.
+
+        Signal-safe: only the creating process unlinks (forked children that
+        inherit the atexit entry or the SIGTERM handler are no-ops here),
+        each segment is drained one at a time, and an interruption mid-drain
+        (``KeyboardInterrupt``, a re-raised ``SystemExit`` from the SIGTERM
+        chain) re-opens the store so a later ``close`` — e.g. the atexit
+        pass — finishes unlinking the remainder instead of leaking it.
+        """
+        if self._closed or os.getpid() != self._owner_pid:
             return
         self._closed = True
         try:
             atexit.unregister(self.close)
         except Exception:  # pragma: no cover - interpreter teardown
             pass
-        segments, self._segments = self._segments, {}
-        for segment, view, _, _ in segments.values():
-            try:
-                view.release()
-            except BufferError:  # pragma: no cover - pinned by a stray view
-                pass
-            try:
-                segment.close()
-            except BufferError:  # pragma: no cover
-                self._retired._entries.append(segment)
-            try:
-                segment.unlink()
-            except FileNotFoundError:  # pragma: no cover - already gone
-                pass
-        self._retired.drain()
+        try:
+            while self._segments:
+                _, (segment, view, _, _) = self._segments.popitem()
+                try:
+                    view.release()
+                except BufferError:  # pragma: no cover - pinned by a stray view
+                    pass
+                try:
+                    segment.close()
+                except BufferError:  # pragma: no cover
+                    self._retired._entries.append(segment)
+                try:
+                    segment.unlink()
+                except (FileNotFoundError, OSError):  # pragma: no cover
+                    pass
+            self._retired.drain()
+        except BaseException:  # pragma: no cover - interrupted teardown
+            self._closed = False
+            atexit.register(self.close)
+            raise
         self._synced = {}
+        self._directory = ()
         self.allocated_bytes = 0
 
     # ------------------------------------------------------------------
@@ -383,6 +448,7 @@ class SharedColumnStore:
         self._watermark = watermark
         self._terms = term_count
         self._predicates = predicate_count
+        self._directory = tuple(directory)
         first = self._first_sync
         self._first_sync = False
         return ShmSync(
@@ -396,6 +462,39 @@ class SharedColumnStore:
             directory=tuple(directory),
             watermark=watermark,
             rebuilds=index.rebuilds,
+        )
+
+    # ------------------------------------------------------------------
+    def snapshot(self, index) -> ShmSync:
+        """A *full-state* sync message for a replica that knows nothing.
+
+        The respawn path of the resilient pool: a worker brought up
+        mid-run must install the complete symbol tables and rescan every
+        directory entry from offset zero, against the *current* shm
+        generation — incremental suffixes would silently desync it.  Brings
+        the mirror current first if the index moved since the last
+        :meth:`sync`, then re-ships the whole directory with ``reset=True``.
+        """
+        if self._closed:
+            raise RuntimeError("shared-memory store is closed")
+        if (
+            self._first_sync
+            or self._rebuilds != index.rebuilds
+            or self._watermark != index.watermark()
+            or self._terms != index.interner.term_count()
+            or self._predicates != index.interner.predicate_count()
+        ):
+            self.sync(index)
+        interner = index.interner
+        return ShmSync(
+            reset=True,
+            term_base=0,
+            terms=tuple(interner.terms_since(0)),
+            predicate_base=0,
+            predicates=tuple(interner.predicates_since(0)),
+            directory=self._directory,
+            watermark=self._watermark,
+            rebuilds=self._rebuilds if self._rebuilds is not None else 0,
         )
 
 

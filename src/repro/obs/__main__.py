@@ -51,6 +51,7 @@ def main(argv=None) -> int:
                     "new_atoms": summary.new_atoms,
                     "nulls_created": summary.nulls_created,
                     "wire_bytes": summary.wire_bytes,
+                    "faults": summary.faults,
                 }
             )
         )

@@ -77,6 +77,12 @@ class ChaseRunStats:
     interner: Dict[str, int] = field(default_factory=dict)
     #: Index shape at the end: watermark (atoms stamped) / rebuilds.
     index: Dict[str, int] = field(default_factory=dict)
+    #: Fault-tolerance ledger of the run's supervised parallel discovery
+    #: (:mod:`repro.engine.resilience`): injected / detected / retried /
+    #: degraded.  Empty for serial or strict (unsupervised) runs.  CI asserts
+    #: these equal the trace summariser's ``parallel.fault.*`` event counts —
+    #: the two accountings must never drift.
+    faults: Dict[str, int] = field(default_factory=dict)
 
     # ------------------------------------------------------------------
     @property
@@ -121,6 +127,7 @@ class ChaseRunStats:
             "trie_cache": dict(self.trie_cache),
             "interner": dict(self.interner),
             "index": dict(self.index),
+            "faults": dict(self.faults),
             "per_stage": [
                 {
                     "stage": s.stage,
@@ -201,7 +208,19 @@ class ChaseRunStats:
                 f"index: watermark {self.index.get('watermark', 0)}, "
                 f"{self.index.get('rebuilds', 0)} rebuilds"
             )
+        if any(self.faults.values()):
+            lines.append(_render_fault_ledger(self.faults))
         return "\n".join(lines)
+
+
+def _render_fault_ledger(faults: Dict[str, int]) -> str:
+    """The one-line supervision ledger shared by stats and trace renders."""
+    return (
+        f"parallel faults: {faults.get('injected', 0)} injected, "
+        f"{faults.get('detected', 0)} detected, "
+        f"{faults.get('retried', 0)} retried, "
+        f"{faults.get('degraded', 0)} degraded"
+    )
 
 
 # ----------------------------------------------------------------------
@@ -349,6 +368,25 @@ class TraceSummary:
     shm_attached_bytes: int = 0
     #: Segment bytes allocated by grow-by-doubling (``parallel.shm.grow``).
     shm_grown_bytes: int = 0
+    #: Supervision ledger folded from fault-tolerance events:
+    #: ``parallel.fault.injected`` → injected, every other
+    #: ``parallel.fault.*`` → detected, ``parallel.retry`` → retried,
+    #: ``parallel.degrade`` → degraded.  Must reconcile exactly with
+    #: ``ChaseRunStats.faults`` of the traced run.
+    faults_injected: int = 0
+    faults_detected: int = 0
+    faults_retried: int = 0
+    faults_degraded: int = 0
+
+    @property
+    def faults(self) -> Dict[str, int]:
+        """The ledger in ``ChaseRunStats.faults`` shape, for reconciliation."""
+        return {
+            "injected": self.faults_injected,
+            "detected": self.faults_detected,
+            "retried": self.faults_retried,
+            "degraded": self.faults_degraded,
+        }
 
     def render(self) -> str:
         lines = [
@@ -379,6 +417,8 @@ class TraceSummary:
                 f"parallel shm: {self.shm_attached_bytes} bytes attached "
                 f"in place, {self.shm_grown_bytes} bytes allocated"
             )
+        if any(self.faults.values()):
+            lines.append(_render_fault_ledger(self.faults))
         return "\n".join(lines)
 
 
@@ -421,5 +461,13 @@ def _summarize_lines(lines: Iterable[str], summary: TraceSummary) -> TraceSummar
                 summary.shm_attached_bytes += line.get("bytes", 0)
             elif name == "parallel.shm.grow":
                 summary.shm_grown_bytes += line.get("bytes", 0)
+            elif name == "parallel.fault.injected":
+                summary.faults_injected += 1
+            elif name.startswith("parallel.fault."):
+                summary.faults_detected += 1
+            elif name == "parallel.retry":
+                summary.faults_retried += 1
+            elif name == "parallel.degrade":
+                summary.faults_degraded += 1
         # "B" lines only open spans; the matching "E" carries the totals.
     return summary

@@ -12,6 +12,12 @@ a fixed vocabulary (see the README glossary):
   events from the compiled-plan cache and executor dispatch;
 * ``parallel.discover`` spans plus per-worker ``parallel.worker`` events
   tagged with the worker id, task count and wire-slice byte size;
+* fault-tolerance events from the supervised pool
+  (:mod:`repro.engine.resilience`): ``parallel.fault.injected`` when the
+  fault harness arms a fault, ``parallel.fault.{crash,hang,attach,truncate,
+  generation,desync,error}`` when the supervisor detects one,
+  ``parallel.retry`` per backoff-and-retry round, and ``parallel.degrade``
+  when a stage falls back to serial discovery;
 * ``trie.{build,extend,invalidate}`` events from the WCOJ trie cache and
   ``index.rebuild`` events from the atom index.
 

@@ -1,0 +1,26 @@
+"""Test harness support: deterministic fault injection for the engine.
+
+Nothing here runs in production paths unless explicitly armed — the fault
+injector (:mod:`repro.testing.faults`) is a no-op until a plan is installed
+via :func:`~repro.testing.faults.install_fault_plan` or the
+``REPRO_FAULTS`` environment variable, and the engine's injection sites are
+a single module-global ``None`` check when disarmed.
+"""
+
+from .faults import (
+    Fault,
+    FaultPlan,
+    active_plan,
+    clear_fault_plan,
+    install_fault_plan,
+    random_fault_plan,
+)
+
+__all__ = [
+    "Fault",
+    "FaultPlan",
+    "active_plan",
+    "clear_fault_plan",
+    "install_fault_plan",
+    "random_fault_plan",
+]
