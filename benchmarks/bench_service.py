@@ -1,0 +1,172 @@
+"""E20: chase-service throughput — JSON rows (requests/sec, warm vs cold).
+
+Each row printed by this module is a single JSON object, collected across
+commits into the perf trajectory (same shape as E16–E19):
+
+    PYTHONPATH=src python -m pytest benchmarks/bench_service.py \
+        --benchmark-disable -q -s | grep '"experiment": "E20"'
+
+Three workloads, all over a real socket (``ThreadingHTTPServer`` on an
+ephemeral port, keep-alive ``http.client`` connection):
+
+* ``query-warm-vs-cold`` — the same session answers N *distinct-shape*
+  queries (every request compiles a plan: the cold path) and then N
+  *identical* queries (every request hits the per-index plan cache: the
+  warm path).  The acceptance bar is a cache-behaviour assertion, not a
+  timing one: the warm round must reuse plans for every request after the
+  first, the cold round must compile one per request;
+* ``chase-repeat`` — N chase requests with the same rule text on one
+  session: the cross-session shape cache interns the rules, so the
+  session's keep-alive engine is reused for every request after the first;
+* ``multi-session-query`` — round-robin queries over M sessions on one
+  connection, the serving-layer overhead row.
+"""
+
+import json
+
+import pytest
+
+from repro.obs import CLOCK, peak_rss_kb
+from repro.service import ReproServer, ServiceClient
+
+#: Requests per measured round.
+N_REQUESTS = 40
+
+#: Sessions in the round-robin row.
+N_SESSIONS = 4
+
+FACTS = ", ".join(f"R(n{i}, n{i + 1})" for i in range(40))
+RULES = ["R(x,y), R(y,z) -> S(x,z)"]
+WARM_QUERY = "q(x,y) :- R(x,z), S(z,y)"
+
+
+def _requests_per_second(calls):
+    started = CLOCK()
+    for call in calls:
+        call()
+    elapsed = max(CLOCK() - started, 1e-9)
+    return round(len(calls) / elapsed, 1), round(elapsed, 6)
+
+
+def _row(report_lines, workload, **fields):
+    row = {
+        "experiment": "E20",
+        "workload": workload,
+        **fields,
+        "peak_rss_kb": peak_rss_kb(),
+    }
+    report_lines(json.dumps(row))
+
+
+@pytest.mark.experiment("E20")
+def test_query_throughput_warm_vs_cold(benchmark, report_lines):
+    with ReproServer(port=0) as server, ServiceClient(*server.address) as client:
+        sid = client.create_session("bench")["id"]
+        client.load(sid, "db", FACTS)
+        chased = client.chase(sid, "db", RULES)["structure"]
+        session = server.manager.get(sid)
+
+        # Cold: every request is a fresh query shape -> one compile each.
+        before = session.context.stats()
+        cold_calls = [
+            (lambda i=i: client.query(
+                sid, chased, f"q(x{i},y{i}) :- R(x{i},z{i}), S(z{i},y{i})"
+            ))
+            for i in range(N_REQUESTS)
+        ]
+        cold_rps, cold_elapsed = _requests_per_second(cold_calls)
+        after_cold = session.context.stats()
+        compiled = after_cold["plans_compiled"] - before["plans_compiled"]
+        assert compiled >= N_REQUESTS, (before, after_cold)
+
+        # Warm: one shape for the whole round -> compile once, reuse after.
+        warm_calls = [
+            (lambda: client.query(sid, chased, WARM_QUERY))
+            for _ in range(N_REQUESTS)
+        ]
+        warm_rps, warm_elapsed = _requests_per_second(warm_calls)
+        after_warm = session.context.stats()
+        reused = after_warm["plans_reused"] - after_cold["plans_reused"]
+        assert reused >= N_REQUESTS - 1, (after_cold, after_warm)
+
+        benchmark(lambda: client.query(sid, chased, WARM_QUERY))
+        _row(
+            report_lines,
+            "query-warm-vs-cold",
+            requests=N_REQUESTS,
+            atoms=client.structure(sid, chased)["atoms"],
+            cold_rps=cold_rps,
+            warm_rps=warm_rps,
+            warm_vs_cold=round(warm_rps / max(cold_rps, 1e-9), 2),
+            cold_seconds=cold_elapsed,
+            warm_seconds=warm_elapsed,
+            plans_compiled=compiled,
+            plans_reused=reused,
+        )
+
+
+@pytest.mark.experiment("E20")
+def test_chase_repeat_reuses_engine(benchmark, report_lines):
+    with ReproServer(port=0) as server, ServiceClient(*server.address) as client:
+        sid = client.create_session("bench")["id"]
+        client.load(sid, "db", FACTS)
+        calls = [
+            (lambda: client.chase(sid, "db", RULES, result_name="out"))
+            for _ in range(N_REQUESTS)
+        ]
+        rps, elapsed = _requests_per_second(calls)
+        session = server.manager.get(sid)
+        snap = session.metrics.snapshot()
+        # The shape cache hands back identical TGD objects per request, so
+        # the session builds exactly one engine and reuses it thereafter.
+        assert snap["service.engines.built"] == 1, snap
+        assert snap["service.engines.reused"] == N_REQUESTS - 1, snap
+        shape = server.manager.shapes.stats()
+        assert shape["hits"] >= N_REQUESTS - 1, shape
+
+        benchmark(lambda: client.chase(sid, "db", RULES, result_name="out"))
+        _row(
+            report_lines,
+            "chase-repeat",
+            requests=N_REQUESTS,
+            atoms=len(session.structures["out"]),
+            chase_rps=rps,
+            chase_seconds=elapsed,
+            engines_built=snap["service.engines.built"],
+            engines_reused=snap["service.engines.reused"],
+            shape_cache_hits=shape["hits"],
+        )
+
+
+@pytest.mark.experiment("E20")
+def test_multi_session_round_robin(benchmark, report_lines):
+    with ReproServer(port=0) as server, ServiceClient(*server.address) as client:
+        sids = []
+        for i in range(N_SESSIONS):
+            sid = client.create_session(f"bench-{i}")["id"]
+            client.load(sid, "db", FACTS)
+            client.chase(sid, "db", RULES)
+            sids.append(sid)
+        calls = [
+            (lambda i=i: client.query(
+                sids[i % N_SESSIONS], "db::chased", WARM_QUERY
+            ))
+            for i in range(N_REQUESTS)
+        ]
+        rps, elapsed = _requests_per_second(calls)
+        # Isolation stays free of charge: each session compiled its own
+        # plan on its own context, none borrowed a neighbour's.
+        for sid in sids:
+            stats = server.manager.get(sid).context.stats()
+            assert stats["plans_compiled"] >= 1, stats
+            assert stats["indexes_adopted"] == 1, stats
+
+        benchmark(lambda: client.query(sids[0], "db::chased", WARM_QUERY))
+        _row(
+            report_lines,
+            "multi-session-query",
+            requests=N_REQUESTS,
+            sessions=N_SESSIONS,
+            query_rps=rps,
+            query_seconds=elapsed,
+        )

@@ -1,5 +1,10 @@
 """Setup shim so that legacy editable installs work without the wheel package."""
 
-from setuptools import setup
+from setuptools import find_packages, setup
 
-setup()
+setup(
+    name="repro",
+    package_dir={"": "src"},
+    packages=find_packages("src"),
+    entry_points={"console_scripts": ["repro = repro.cli:main"]},
+)

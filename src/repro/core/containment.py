@@ -16,7 +16,7 @@ from .query import ConjunctiveQuery, QueryError
 
 
 def containment_witness(
-    contained: ConjunctiveQuery, container: ConjunctiveQuery
+    contained: ConjunctiveQuery, container: ConjunctiveQuery, context=None
 ) -> Optional[dict]:
     """A homomorphism witnessing ``contained ⊆ container``, or ``None``.
 
@@ -24,7 +24,9 @@ def containment_witness(
     *contained*, sending the i-th free variable of *container* to the i-th
     free variable of *contained*.  The search runs on the planned
     index-backed evaluator of :mod:`repro.query` (imported lazily, as
-    repro.query sits above repro.core).
+    repro.query sits above repro.core); *context* selects the evaluation
+    context the canonical structure's index is registered in (``None`` = the
+    process-wide shared context) — session-scoped callers pass their own.
     """
     from ..query.evaluator import find_homomorphism
 
@@ -34,16 +36,22 @@ def containment_witness(
         )
     fix = dict(zip(container.free_variables, contained.free_variables))
     canonical = contained.canonical_structure()
-    return find_homomorphism(list(container.atoms), canonical, fix=fix)
+    return find_homomorphism(
+        list(container.atoms), canonical, fix=fix, context=context
+    )
 
 
 def is_contained_in(
-    contained: ConjunctiveQuery, container: ConjunctiveQuery
+    contained: ConjunctiveQuery, container: ConjunctiveQuery, context=None
 ) -> bool:
     """``contained ⊆ container`` in the Chandra–Merlin sense."""
-    return containment_witness(contained, container) is not None
+    return containment_witness(contained, container, context=context) is not None
 
 
-def are_equivalent(first: ConjunctiveQuery, second: ConjunctiveQuery) -> bool:
+def are_equivalent(
+    first: ConjunctiveQuery, second: ConjunctiveQuery, context=None
+) -> bool:
     """True when the two queries are semantically equivalent."""
-    return is_contained_in(first, second) and is_contained_in(second, first)
+    return is_contained_in(first, second, context=context) and is_contained_in(
+        second, first, context=context
+    )

@@ -43,7 +43,12 @@ from .delta import (
 )
 from .indexes import AtomIndex, WireCursor, WireSlice
 from .parallel import ParallelDiscovery, WorkerError
-from .resilience import ResilienceConfig, SupervisedDiscovery, resolve_resilience
+from .resilience import (
+    ResilienceConfig,
+    ResilienceConfigError,
+    SupervisedDiscovery,
+    resolve_resilience,
+)
 from .seminaive import SemiNaiveChaseEngine
 from .strategies import (
     FiringStrategy,
@@ -74,6 +79,7 @@ def make_engine(
     workers: Optional[int] = None,
     match_strategy: Optional[str] = None,
     resilience=None,
+    context=None,
 ):
     """Resolve the shared ``engine=`` parameter into a ready-to-run engine.
 
@@ -97,7 +103,11 @@ def make_engine(
     (supervised defaults for fresh engines), ``False`` restores strict
     fail-fast, a :class:`~repro.engine.resilience.ResilienceConfig` sets
     deadlines/retries/fallback; the reference engine — which has no pool —
-    accepts only ``None`` / ``False``.
+    accepts only ``None`` / ``False``.  ``context`` selects the
+    :class:`~repro.query.context.EvalContext` the run's index is donated to
+    (``None`` keeps the instance's own setting — the process-wide shared
+    context for fresh engines); the reference engine — which maintains no
+    index to hand off — accepts only ``None``.
     """
     if engine is None:
         engine = DEFAULT_ENGINE
@@ -126,6 +136,11 @@ def make_engine(
                     "resilience supervision is a semi-naive engine feature; "
                     "the reference engine has no worker pool to supervise"
                 )
+            if context is not None:
+                raise ValueError(
+                    "index hand-off contexts are a semi-naive engine feature; "
+                    "the reference engine maintains no index to adopt"
+                )
             return replace(
                 engine,
                 tgds=list(tgds),
@@ -146,6 +161,7 @@ def make_engine(
                 engine.match_strategy if match_strategy is None else match_strategy
             ),
             resilience=engine.resilience if resilience is None else resilience,
+            context=engine.context if context is None else context,
         )
     if isinstance(engine, str):
         name = engine.lower()
@@ -159,6 +175,7 @@ def make_engine(
                 workers=workers or 0,
                 match_strategy=match_strategy or "nested",
                 resilience=resilience,
+                context=context,
             )
         if name in _REFERENCE_NAMES:
             if strategy is not None:
@@ -184,6 +201,11 @@ def make_engine(
                     "resilience supervision is a semi-naive engine feature; "
                     "the reference engine has no worker pool to supervise"
                 )
+            if context is not None:
+                raise ValueError(
+                    "index hand-off contexts are a semi-naive engine feature; "
+                    "the reference engine maintains no index to adopt"
+                )
             return ChaseEngine(
                 tgds=list(tgds),
                 max_stages=max_stages,
@@ -208,6 +230,7 @@ def run_chase(
     workers: Optional[int] = None,
     match_strategy: Optional[str] = None,
     resilience=None,
+    context=None,
 ) -> ChaseResult:
     """Run the (bounded) chase of *instance* under *tgds* on a chosen engine.
 
@@ -219,7 +242,10 @@ def run_chase(
     worst-case-optimal generic join; output is identical either way).
     ``resilience`` tunes (or, with ``False``, disables) the pool's fault
     supervision — see :mod:`repro.engine.resilience`; recovery never
-    changes output, only whether a faulted run survives.
+    changes output, only whether a faulted run survives.  ``context``
+    selects the evaluation context the chased structure's index is donated
+    to (``None`` = the process-wide shared context) — per-session callers
+    pass their own so post-chase queries stay isolated.
     """
     resolved = make_engine(
         engine,
@@ -231,6 +257,7 @@ def run_chase(
         workers=workers,
         match_strategy=match_strategy,
         resilience=resilience,
+        context=context,
     )
     try:
         return resolved.run(instance)
@@ -251,6 +278,7 @@ __all__ = [
     "FiringStrategy",
     "ParallelDiscovery",
     "ResilienceConfig",
+    "ResilienceConfigError",
     "SemiNaiveChaseEngine",
     "SupervisedDiscovery",
     "WireCursor",

@@ -45,6 +45,7 @@ paths, so a trace summary and the run stats always agree.
 
 from __future__ import annotations
 
+import math
 import os
 import time
 from dataclasses import dataclass
@@ -55,6 +56,66 @@ from ..chase.tgd import TGD
 from ..obs.trace import NULL_SPAN, get_tracer
 from .delta import Assignment, assignment_layout, compiled_delta_matches
 from .parallel import ParallelDiscovery, Task, WorkerError, merge_rows
+
+
+class ResilienceConfigError(ValueError):
+    """A ``REPRO_*`` supervision override could not be parsed or is invalid.
+
+    Raised when the resilience config is resolved — at engine construction
+    time, before any stage is dispatched — so a typo'd deployment knob fails
+    the run immediately with the variable named, instead of surfacing as a
+    bare ``ValueError`` from deep inside the supervision loop.
+    """
+
+
+_TRUE_WORDS = frozenset({"1", "true", "yes", "on"})
+_FALSE_WORDS = frozenset({"0", "false", "no", "off"})
+
+
+def _env_float(name: str, raw: str) -> float:
+    """A positive finite float from the environment, or a typed error."""
+    try:
+        value = float(raw)
+    except ValueError:
+        raise ResilienceConfigError(
+            f"{name}={raw!r} is not a number (expected seconds, e.g. 30 or 2.5)"
+        ) from None
+    if not math.isfinite(value) or value <= 0:
+        raise ResilienceConfigError(
+            f"{name}={raw!r} must be a positive finite number of seconds"
+        )
+    return value
+
+
+def _env_int(name: str, raw: str) -> int:
+    """A non-negative integer from the environment, or a typed error."""
+    try:
+        value = int(raw)
+    except ValueError:
+        raise ResilienceConfigError(
+            f"{name}={raw!r} is not an integer (expected a retry count, e.g. 2)"
+        ) from None
+    if value < 0:
+        raise ResilienceConfigError(f"{name}={raw!r} must be >= 0")
+    return value
+
+
+def _env_bool(name: str, raw: str) -> bool:
+    """A boolean from the environment, or a typed error.
+
+    The historical parser treated *any* unrecognised word — including a
+    typo'd ``"flase"`` — as True; now only the conventional spellings are
+    accepted, case-insensitively.
+    """
+    word = raw.strip().lower()
+    if word in _TRUE_WORDS:
+        return True
+    if word in _FALSE_WORDS:
+        return False
+    raise ResilienceConfigError(
+        f"{name}={raw!r} is not a boolean "
+        f"(expected one of {sorted(_TRUE_WORDS | _FALSE_WORDS)})"
+    )
 
 
 @dataclass(frozen=True)
@@ -86,19 +147,31 @@ class ResilienceConfig:
     def from_env(cls) -> "ResilienceConfig":
         """The config with ``REPRO_*`` environment overrides applied.
 
-        ``REPRO_STAGE_DEADLINE`` (float seconds), ``REPRO_MAX_RETRIES``
-        (int), ``REPRO_SERIAL_FALLBACK`` (``0``/``1``) — the service-style
-        knobs, so a deployment can tighten supervision without code.
+        ``REPRO_STAGE_DEADLINE`` (positive float seconds),
+        ``REPRO_MAX_RETRIES`` (non-negative int), ``REPRO_SERIAL_FALLBACK``
+        (``0``/``1``/``true``/``false``/``yes``/``no``/``on``/``off``) —
+        the service-style knobs, so a deployment can tighten supervision
+        without code.  An unset or empty variable keeps the default; a
+        malformed one raises :class:`ResilienceConfigError` naming the
+        variable, at engine-construction time rather than mid-supervision.
         """
         deadline = os.environ.get("REPRO_STAGE_DEADLINE")
         retries = os.environ.get("REPRO_MAX_RETRIES")
         fallback = os.environ.get("REPRO_SERIAL_FALLBACK")
         return cls(
-            stage_deadline=float(deadline) if deadline else cls.stage_deadline,
-            max_retries=int(retries) if retries else cls.max_retries,
+            stage_deadline=(
+                _env_float("REPRO_STAGE_DEADLINE", deadline)
+                if deadline
+                else cls.stage_deadline
+            ),
+            max_retries=(
+                _env_int("REPRO_MAX_RETRIES", retries)
+                if retries
+                else cls.max_retries
+            ),
             serial_fallback=(
-                fallback not in ("0", "false", "no")
-                if fallback is not None
+                _env_bool("REPRO_SERIAL_FALLBACK", fallback)
+                if fallback
                 else cls.serial_fallback
             ),
         )
@@ -356,6 +429,7 @@ class SupervisedDiscovery:
 
 __all__ = [
     "ResilienceConfig",
+    "ResilienceConfigError",
     "SupervisedDiscovery",
     "resolve_resilience",
 ]

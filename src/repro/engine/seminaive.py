@@ -60,10 +60,17 @@ class SemiNaiveChaseEngine:
     keep_snapshots: bool = True
     raise_on_budget: bool = False
     strategy: FiringStrategy = field(default_factory=lazy_strategy)
-    #: Donate the run's AtomIndex to the shared query-evaluation context so
-    #: post-chase queries on the result (certificate checks, containment)
-    #: reuse it instead of rebuilding; set False to detach it as before.
+    #: Donate the run's AtomIndex to a query-evaluation context so post-chase
+    #: queries on the result (certificate checks, containment) reuse it
+    #: instead of rebuilding; set False to detach it as before.
     share_index: bool = True
+    #: The :class:`~repro.query.context.EvalContext` the run's index is
+    #: donated to (``share_index=True``).  ``None`` — the historical default —
+    #: selects the process-wide ``repro.query.context.shared_context``; a
+    #: long-lived multi-tenant caller (the session server of
+    #: :mod:`repro.service`) passes its per-session context here so one
+    #: session's chased index and plan cache never leak into another's.
+    context: object = None
     #: Number of parallel discovery workers (``repro.engine.parallel``).
     #: ``0`` / ``1`` keep the stage's batch-discovery pass in-process; with
     #: ``N ≥ 2`` it is fanned out over N worker processes and merged back
@@ -284,10 +291,13 @@ class SemiNaiveChaseEngine:
                 if self.share_index:
                     # Keep the index attached and hand it to the query layer:
                     # the chased structure's first certificate / containment
-                    # check then starts from a warm index (no rebuild).
-                    from ..query.context import shared_context
+                    # check then starts from a warm index (no rebuild).  The
+                    # receiving context is the engine's own (session-scoped
+                    # callers) or the process-wide default — never hardwired
+                    # to the global, so sessions stay isolated.
+                    from ..query.context import get_context
 
-                    shared_context.adopt(current, index)
+                    get_context(self.context).adopt(current, index)
                 else:
                     index.detach()
             if stats is not None:

@@ -77,6 +77,7 @@ def check_unrestricted_determinacy(
     max_stages: int = 50,
     max_atoms: int = 20_000,
     engine: EngineSpec = None,
+    context=None,
 ) -> DeterminacyReport:
     """Bounded decision procedure for CQDP (the unrestricted problem).
 
@@ -88,24 +89,34 @@ def check_unrestricted_determinacy(
     The certificate search exploits two facts: ``red(Q0)`` at a fixed answer
     is *monotone* under atom addition, so it is decided on the final chase
     structure first (whose :class:`~repro.engine.indexes.AtomIndex` the
-    semi-naive engine just donated to the shared evaluation context — no
-    index rebuild), and only on success is the earliest witnessing stage
-    located by binary search over the snapshots.
+    semi-naive engine just donated to the evaluation context — no index
+    rebuild), and only on success is the earliest witnessing stage located
+    by binary search over the snapshots.  *context* scopes both the chase
+    hand-off and every certificate check (``None`` = the shared context).
     """
+    from ..query.evaluator import query_holds
+
     tgds = build_tq(views)
     instance, answer = green_canonical_instance(query)
     target = red_query(query)
-    if target.holds(instance, answer):
+    if query_holds(target, instance, answer, context=context):
         return DeterminacyReport(
             Verdict.DETERMINED,
             certificate=DeterminacyCertificate(instance, stage=0),
             detail="red(Q0) already true in green(Q0)",
         )
     result = run_chase(
-        tgds, instance, max_stages=max_stages, max_atoms=max_atoms, engine=engine
+        tgds,
+        instance,
+        max_stages=max_stages,
+        max_atoms=max_atoms,
+        engine=engine,
+        context=context,
     )
-    if target.holds(result.structure, answer):
-        stage_index = _first_stage_with(target, result.stage_snapshots, answer)
+    if query_holds(target, result.structure, answer, context=context):
+        stage_index = _first_stage_with(
+            target, result.stage_snapshots, answer, context=context
+        )
         return DeterminacyReport(
             Verdict.DETERMINED,
             certificate=DeterminacyCertificate(
@@ -131,6 +142,7 @@ def _first_stage_with(
     target: ConjunctiveQuery,
     snapshots: Sequence[Structure],
     answer: Tuple[object, ...],
+    context=None,
 ) -> int:
     """The earliest snapshot index at which ``target(answer)`` holds.
 
@@ -138,10 +150,12 @@ def _first_stage_with(
     answer is monotone along chase stages, so binary search applies — only
     O(log stages) snapshots get queried (and indexed) at all.
     """
+    from ..query.evaluator import query_holds
+
     lo, hi = 0, len(snapshots) - 1
     while lo < hi:
         mid = (lo + hi) // 2
-        if target.holds(snapshots[mid], answer):
+        if query_holds(target, snapshots[mid], answer, context=context):
             hi = mid
         else:
             lo = mid + 1

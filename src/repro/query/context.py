@@ -22,10 +22,22 @@ structure itself keeps its index alive through its listener list, so an
 index lives exactly as long as the structure it mirrors; when the structure
 is garbage-collected the (structure ↔ index) cycle goes with it and the
 context entry is purged lazily.
+
+Thread safety: a context may be shared by concurrent request threads (the
+service layer of :mod:`repro.service` runs one context per session under a
+threaded HTTP server), so every mutation of the registry happens under one
+per-context lock.  Without it, two racing :meth:`index_for` calls could each
+build — and attach as a structure listener — its own index for the same
+structure, and :meth:`_remember`'s purge loop could mutate ``_entries``
+while another thread iterates it.  Index *builds* happen inside the lock on
+purpose: an index registers itself as a structure listener as a side effect
+of construction, so the loser of an unlocked race would leak a listener
+that keeps shadow-indexing the structure forever.
 """
 
 from __future__ import annotations
 
+import threading
 import weakref
 from typing import TYPE_CHECKING, Dict, Optional
 
@@ -59,6 +71,10 @@ class EvalContext:
             )
         self._entries: Dict[int, "weakref.ref[AtomIndex]"] = {}
         self._inserts_since_purge = 0
+        # Guards _entries, the purge counter and the build-or-reuse decision
+        # of index_for (see the module docs).  Reentrant because adopt() may
+        # be reached from call stacks that already hold it via index_for.
+        self._lock = threading.RLock()
         #: The join-executor strategy used when a caller passes none —
         #: ``"auto"`` (nested / hash / wcoj picked per compiled shape),
         #: ``"nested"``, ``"hash"`` or ``"wcoj"``.  Letting a context carry
@@ -80,17 +96,23 @@ class EvalContext:
 
     # ------------------------------------------------------------------
     def index_for(self, structure: Structure) -> "AtomIndex":
-        """The index following *structure*, building (and caching) it once."""
-        existing = self._lookup(structure)
-        if existing is not None:
-            self.indexes_reused += 1
-            return existing
-        from ..engine.indexes import AtomIndex
+        """The index following *structure*, building (and caching) it once.
 
-        index = AtomIndex(structure)
-        self.indexes_built += 1
-        self._remember(structure, index)
-        return index
+        Safe under concurrent callers: the build-or-reuse decision is made
+        under the context lock, so exactly one index is ever attached to a
+        structure through this context no matter how many threads race here.
+        """
+        with self._lock:
+            existing = self._lookup(structure)
+            if existing is not None:
+                self.indexes_reused += 1
+                return existing
+            from ..engine.indexes import AtomIndex
+
+            index = AtomIndex(structure)
+            self.indexes_built += 1
+            self._remember(structure, index)
+            return index
 
     def adopt(self, structure: Structure, index: AtomIndex) -> None:
         """Register an already-attached *index* for *structure*.
@@ -101,22 +123,26 @@ class EvalContext:
         """
         if index.structure is not structure:
             raise ValueError("adopted index does not follow the given structure")
-        self.indexes_adopted += 1
-        self._remember(structure, index)
+        with self._lock:
+            self.indexes_adopted += 1
+            self._remember(structure, index)
 
     def peek(self, structure: Structure) -> Optional[AtomIndex]:
         """The registered index for *structure*, or ``None`` (never builds)."""
-        return self._lookup(structure)
+        with self._lock:
+            return self._lookup(structure)
 
     def forget(self, structure: Structure) -> None:
         """Detach and drop the index for *structure* (no-op when absent)."""
-        index = self._lookup(structure)
-        self._entries.pop(id(structure), None)
+        with self._lock:
+            index = self._lookup(structure)
+            self._entries.pop(id(structure), None)
         if index is not None:
             index.detach()
 
     def __len__(self) -> int:
-        return sum(1 for ref in self._entries.values() if ref() is not None)
+        with self._lock:
+            return sum(1 for ref in self._entries.values() if ref() is not None)
 
     def stats(self) -> Dict[str, int]:
         """The context's counters as one JSON-ready dict (:mod:`repro.obs`).
@@ -148,6 +174,8 @@ class EvalContext:
         return index
 
     def _remember(self, structure: Structure, index: AtomIndex) -> None:
+        # Callers hold self._lock: the purge loop below both iterates and
+        # mutates _entries, which must never interleave with another writer.
         self._entries[id(structure)] = weakref.ref(index)
         self._inserts_since_purge += 1
         if self._inserts_since_purge >= _PURGE_INTERVAL:

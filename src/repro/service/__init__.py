@@ -1,0 +1,49 @@
+"""Chase-as-a-service: a session server over the engine stack.
+
+The library's chase engines, query runtime and certificate checkers are all
+in-process APIs; this package turns them into a long-lived multi-tenant
+service (stdlib HTTP only — nothing to install):
+
+* :mod:`~repro.service.sessions` — the tenancy model: per-session
+  :class:`~repro.query.context.EvalContext` and
+  :class:`~repro.obs.metrics.MetricsRegistry`, keep-alive engine pools,
+  MAAS-style total/used/available capacity accounting, idle-TTL eviction,
+  and the cross-session :class:`~repro.service.sessions.ShapeCache`;
+* :mod:`~repro.service.server` — the ``ThreadingHTTPServer`` front end and
+  its typed-error → HTTP-status mapping;
+* :mod:`~repro.service.client` — a keep-alive ``http.client`` JSON client
+  (what the ``repro`` CLI speaks).
+
+See the README's "Running as a service" section for the endpoint table and
+CLI walkthrough.
+"""
+
+from .client import ServiceAPIError, ServiceClient
+from .server import ReproServer, serve
+from .sessions import (
+    BadRequestError,
+    CapacityError,
+    ServiceError,
+    Session,
+    SessionClosedError,
+    SessionManager,
+    ShapeCache,
+    UnknownSessionError,
+    UnknownStructureError,
+)
+
+__all__ = [
+    "BadRequestError",
+    "CapacityError",
+    "ReproServer",
+    "ServiceAPIError",
+    "ServiceClient",
+    "ServiceError",
+    "Session",
+    "SessionClosedError",
+    "SessionManager",
+    "ShapeCache",
+    "UnknownSessionError",
+    "UnknownStructureError",
+    "serve",
+]

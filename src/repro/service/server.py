@@ -1,0 +1,388 @@
+"""The chase service: a stdlib threaded-HTTP front end over sessions.
+
+Built on :class:`http.server.ThreadingHTTPServer` — one OS thread per
+in-flight request, daemonised so a dying server never wedges on a stuck
+client.  Handler threads do no chase work themselves beyond calling into
+:mod:`repro.service.sessions`, where the per-session lock batches
+concurrent requests for one session onto its keep-alive engine pools.
+
+Routes (all request/response bodies are JSON)::
+
+    GET    /health
+    GET    /server/stats
+    GET    /sessions                      list sessions
+    POST   /sessions                      {name?, max_atoms?, default_strategy?}
+    GET    /sessions/<id>                 session detail (accounting + metrics)
+    DELETE /sessions/<id>                 evict: forget indexes, close pools
+    POST   /sessions/<id>/structures      {name, facts}
+    GET    /sessions/<id>/structures/<n>  canonical fact listing
+    DELETE /sessions/<id>/structures/<n>
+    POST   /sessions/<id>/structures/<n>/extend   {facts}
+    POST   /sessions/<id>/chase           {structure, rules, workers?, ...}
+    POST   /sessions/<id>/query           {structure, query}
+    POST   /sessions/<id>/explain         {structure, query, strategy?}
+    POST   /sessions/<id>/containment     {contained, container}
+    POST   /sessions/<id>/determinacy     {views, query, max_stages?, max_atoms?}
+
+Failure semantics: typed library errors map onto HTTP statuses —
+parse/config errors (``ParseError``, ``TGDError``, ``QueryError``,
+``ResilienceConfigError``, any ``ValueError``/``TypeError``) → 400, unknown
+session/structure → 404, capacity (sessions or atoms) → 429, a chase that
+hit its budget with ``raise_on_budget`` → 409, and an *operational* chase
+failure (:class:`~repro.chase.chase.ChaseExecutionError` — the typed
+"substrate died and recovery was exhausted" signal of the resilience
+layer) → 503, since retrying against a healthy pool may well succeed.
+Everything else is a 500.  Error bodies are
+``{"error": {"status", "type", "message"}}``.
+"""
+
+from __future__ import annotations
+
+import json
+import re
+import threading
+import time
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..chase.chase import ChaseBudgetExceeded, ChaseExecutionError
+from .sessions import ServiceError, SessionManager
+
+__all__ = ["ReproServer", "serve"]
+
+_SESSION = r"(?P<session>[0-9a-f]{12})"
+_NAME = r"(?P<name>[^/]+)"
+
+
+def _status_for(exc: BaseException) -> int:
+    if isinstance(exc, ServiceError):
+        return exc.status
+    if isinstance(exc, ChaseBudgetExceeded):
+        return 409
+    if isinstance(exc, ChaseExecutionError):
+        return 503
+    # ParseError / TGDError / QueryError / ResilienceConfigError are all
+    # ValueError subclasses; TypeError covers malformed payload shapes.
+    if isinstance(exc, (ValueError, TypeError, KeyError)):
+        return 400
+    return 500
+
+
+class _Handler(BaseHTTPRequestHandler):
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-service/1"
+    # Keep-alive JSON round trips write headers and body separately; with
+    # Nagle on, that interacts with delayed ACKs into a ~40ms stall per
+    # request on loopback.
+    disable_nagle_algorithm = True
+
+    # Routes are (method, compiled pattern, bound-method name); the table is
+    # built once at class level and dispatched by the three do_* entrypoints.
+    ROUTES: List[Tuple[str, "re.Pattern", str]] = [
+        ("GET", re.compile(r"^/health$"), "health"),
+        ("GET", re.compile(r"^/server/stats$"), "server_stats"),
+        ("GET", re.compile(r"^/sessions$"), "list_sessions"),
+        ("POST", re.compile(r"^/sessions$"), "create_session"),
+        ("GET", re.compile(rf"^/sessions/{_SESSION}$"), "show_session"),
+        ("DELETE", re.compile(rf"^/sessions/{_SESSION}$"), "delete_session"),
+        ("POST", re.compile(rf"^/sessions/{_SESSION}/structures$"), "load_structure"),
+        (
+            "GET",
+            re.compile(rf"^/sessions/{_SESSION}/structures/{_NAME}$"),
+            "show_structure",
+        ),
+        (
+            "DELETE",
+            re.compile(rf"^/sessions/{_SESSION}/structures/{_NAME}$"),
+            "drop_structure",
+        ),
+        (
+            "POST",
+            re.compile(rf"^/sessions/{_SESSION}/structures/{_NAME}/extend$"),
+            "extend_structure",
+        ),
+        ("POST", re.compile(rf"^/sessions/{_SESSION}/chase$"), "chase"),
+        ("POST", re.compile(rf"^/sessions/{_SESSION}/query$"), "query"),
+        ("POST", re.compile(rf"^/sessions/{_SESSION}/explain$"), "explain"),
+        ("POST", re.compile(rf"^/sessions/{_SESSION}/containment$"), "containment"),
+        ("POST", re.compile(rf"^/sessions/{_SESSION}/determinacy$"), "determinacy"),
+    ]
+
+    # -- plumbing ------------------------------------------------------
+    @property
+    def manager(self) -> SessionManager:
+        return self.server.repro_server.manager
+
+    def log_message(self, fmt, *args):  # noqa: A003 - stdlib signature
+        if not self.server.repro_server.quiet:
+            super().log_message(fmt, *args)
+
+    def _payload(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        try:
+            payload = json.loads(raw)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    def _reply(self, status: int, payload: Dict[str, object]) -> None:
+        body = json.dumps(payload).encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
+    def _dispatch(self, method: str) -> None:
+        path = self.path.split("?", 1)[0]
+        for route_method, pattern, name in self.ROUTES:
+            if route_method != method:
+                continue
+            match = pattern.match(path)
+            if match is None:
+                continue
+            try:
+                status, payload = getattr(self, name)(**match.groupdict())
+            except Exception as exc:  # typed → HTTP status, see module doc
+                status = _status_for(exc)
+                payload = {
+                    "error": {
+                        "status": status,
+                        "type": type(exc).__name__,
+                        "message": str(exc),
+                    }
+                }
+                self.manager.count_request(error=True)
+            else:
+                self.manager.count_request()
+            self._reply(status, payload)
+            return
+        self.manager.count_request(error=True)
+        self._reply(
+            404,
+            {"error": {"status": 404, "type": "NoRoute", "message": f"no route {method} {path}"}},
+        )
+
+    def do_GET(self) -> None:
+        self._dispatch("GET")
+
+    def do_POST(self) -> None:
+        self._dispatch("POST")
+
+    def do_DELETE(self) -> None:
+        self._dispatch("DELETE")
+
+    # -- handlers ------------------------------------------------------
+    def health(self) -> Tuple[int, Dict[str, object]]:
+        return 200, {"status": "ok", "time": time.time()}
+
+    def server_stats(self) -> Tuple[int, Dict[str, object]]:
+        return 200, self.manager.accounting()
+
+    def list_sessions(self) -> Tuple[int, Dict[str, object]]:
+        return 200, {"sessions": self.manager.list_sessions()}
+
+    def create_session(self) -> Tuple[int, Dict[str, object]]:
+        payload = self._payload()
+        session = self.manager.create(
+            payload.get("name"),
+            max_atoms=payload.get("max_atoms"),
+            default_strategy=payload.get("default_strategy"),
+        )
+        return 201, session.describe()
+
+    def show_session(self, session: str) -> Tuple[int, Dict[str, object]]:
+        target = self.manager.get(session)
+        target.touch()
+        return 200, target.describe(verbose=True)
+
+    def delete_session(self, session: str) -> Tuple[int, Dict[str, object]]:
+        return 200, self.manager.delete(session)
+
+    def _session(self, session_id: str):
+        session = self.manager.get(session_id)
+        session.touch()
+        return session
+
+    def load_structure(self, session: str) -> Tuple[int, Dict[str, object]]:
+        payload = self._payload()
+        target = self._session(session)
+        return 201, target.load_structure(
+            str(payload["name"]), str(payload.get("facts", ""))
+        )
+
+    def extend_structure(self, session: str, name: str) -> Tuple[int, Dict[str, object]]:
+        payload = self._payload()
+        target = self._session(session)
+        return 200, target.load_structure(
+            name, str(payload.get("facts", "")), extend=True
+        )
+
+    def show_structure(self, session: str, name: str) -> Tuple[int, Dict[str, object]]:
+        return 200, self._session(session).structure_facts(name)
+
+    def drop_structure(self, session: str, name: str) -> Tuple[int, Dict[str, object]]:
+        return 200, self._session(session).drop_structure(name)
+
+    def chase(self, session: str) -> Tuple[int, Dict[str, object]]:
+        payload = self._payload()
+        target = self._session(session)
+        return 200, target.chase(
+            str(payload["structure"]),
+            list(payload.get("rules") or ()),
+            result_name=payload.get("result_name"),
+            workers=payload.get("workers", 0),
+            match_strategy=payload.get("match_strategy", "nested"),
+            strategy=payload.get("strategy", "lazy"),
+            max_stages=payload.get("max_stages"),
+            max_atoms=payload.get("max_atoms"),
+            resilience=payload.get("resilience"),
+        )
+
+    def query(self, session: str) -> Tuple[int, Dict[str, object]]:
+        payload = self._payload()
+        target = self._session(session)
+        return 200, target.query(str(payload["structure"]), str(payload["query"]))
+
+    def explain(self, session: str) -> Tuple[int, Dict[str, object]]:
+        payload = self._payload()
+        target = self._session(session)
+        return 200, target.explain(
+            str(payload["structure"]),
+            str(payload["query"]),
+            strategy=payload.get("strategy"),
+        )
+
+    def containment(self, session: str) -> Tuple[int, Dict[str, object]]:
+        payload = self._payload()
+        target = self._session(session)
+        return 200, target.containment(
+            str(payload["contained"]), str(payload["container"])
+        )
+
+    def determinacy(self, session: str) -> Tuple[int, Dict[str, object]]:
+        payload = self._payload()
+        target = self._session(session)
+        return 200, target.determinacy(
+            list(payload.get("views") or ()),
+            str(payload["query"]),
+            max_stages=payload.get("max_stages", 50),
+            max_atoms=payload.get("max_atoms", 20_000),
+        )
+
+
+class ReproServer:
+    """The long-lived service: HTTP listener + session manager + TTL sweeper.
+
+    ``port=0`` binds an ephemeral port (tests); :attr:`address` reports the
+    bound one.  Use as a context manager, or :meth:`start` / :meth:`close`
+    explicitly.  :meth:`close` is the full teardown: stop the sweeper, stop
+    accepting requests, then close every session — which hands back indexes
+    (``forget``), closes keep-alive pools and releases their shared-memory
+    segments, so a cleanly shut server leaks neither children nor
+    ``/dev/shm`` entries.
+    """
+
+    def __init__(
+        self,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        *,
+        max_sessions: int = 16,
+        idle_ttl: Optional[float] = None,
+        session_max_atoms: int = 1_000_000,
+        default_strategy: str = "auto",
+        sweep_interval: float = 1.0,
+        quiet: bool = True,
+    ) -> None:
+        self.manager = SessionManager(
+            max_sessions=max_sessions,
+            idle_ttl=idle_ttl,
+            session_max_atoms=session_max_atoms,
+            default_strategy=default_strategy,
+        )
+        self.quiet = quiet
+        self._sweep_interval = sweep_interval
+        self._httpd = ThreadingHTTPServer((host, port), _Handler)
+        self._httpd.daemon_threads = True
+        self._httpd.repro_server = self
+        self._thread: Optional[threading.Thread] = None
+        self._sweeper: Optional[threading.Thread] = None
+        self._stop = threading.Event()
+        self._serving = False
+        self._closed = False
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return host, port
+
+    @property
+    def url(self) -> str:
+        host, port = self.address
+        return f"http://{host}:{port}"
+
+    def _sweep_loop(self) -> None:
+        while not self._stop.wait(self._sweep_interval):
+            self.manager.sweep()
+
+    def _start_sweeper(self) -> None:
+        if self.manager.idle_ttl is not None and self._sweeper is None:
+            self._sweeper = threading.Thread(
+                target=self._sweep_loop, name="repro-session-sweeper", daemon=True
+            )
+            self._sweeper.start()
+
+    def start(self) -> "ReproServer":
+        """Serve in a background thread; returns self once the port is live."""
+        self._start_sweeper()
+        self._serving = True
+        self._thread = threading.Thread(
+            target=self._httpd.serve_forever,
+            kwargs={"poll_interval": 0.1},
+            name="repro-service",
+            daemon=True,
+        )
+        self._thread.start()
+        return self
+
+    def serve_forever(self) -> None:
+        """Serve on the calling thread (the CLI's ``repro serve``)."""
+        self._start_sweeper()
+        self._serving = True
+        try:
+            self._httpd.serve_forever(poll_interval=0.2)
+        except KeyboardInterrupt:
+            pass
+
+    def close(self) -> None:
+        if self._closed:
+            return
+        self._closed = True
+        self._stop.set()
+        if self._serving:
+            # No-op once a foreground serve_forever already returned;
+            # unserved servers must skip it (shutdown() waits on the loop).
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if self._thread is not None:
+            self._thread.join(timeout=5)
+        if self._sweeper is not None:
+            self._sweeper.join(timeout=5)
+        self.manager.close()
+
+    def __enter__(self) -> "ReproServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+def serve(host: str = "127.0.0.1", port: int = 8765, **kwargs) -> ReproServer:
+    """Construct and start a background :class:`ReproServer` (convenience)."""
+    return ReproServer(host, port, **kwargs).start()

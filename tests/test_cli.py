@@ -1,0 +1,87 @@
+"""The ``repro`` CLI against a live in-process server."""
+
+import pytest
+
+from repro.cli import main, render_accounting, render_table
+from repro.service import ReproServer
+
+
+@pytest.fixture()
+def server_url(monkeypatch):
+    with ReproServer(port=0) as server:
+        monkeypatch.setenv("REPRO_SERVICE_URL", server.url)
+        yield server.url
+
+
+def run_cli(capsys, *argv):
+    code = main(list(argv))
+    out = capsys.readouterr()
+    return code, out.out, out.err
+
+
+def test_render_table_alignment():
+    text = render_table(["name", "atoms"], [["db", 12], ["db::chased", 40]],
+                        title="structures")
+    lines = text.splitlines()
+    assert lines[0] == "structures"
+    assert lines[1].split() == ["name", "atoms"]
+    assert set(lines[2]) <= {"-", " "}
+    assert lines[3].startswith("db ")
+    # Cells pad to the widest value in the column.
+    assert lines[1].index("atoms") == lines[3].index("12")
+
+
+def test_render_accounting_shape():
+    text = render_accounting("atoms", {"total": 10, "used": 3, "available": 7})
+    assert "total" in text and "available" in text
+    assert text.splitlines()[-1].split() == ["atoms", "10", "3", "7"]
+
+
+def test_cli_round_trip(capsys, server_url, tmp_path):
+    code, out, _ = run_cli(capsys, "session", "new", "--name", "cli-demo")
+    assert code == 0
+    sid = out.splitlines()[0].strip()
+    assert len(sid) == 12
+
+    code, out, _ = run_cli(capsys, "load", sid, "db", "R(a,b), R(b,c)")
+    assert code == 0 and "db" in out
+
+    rules = tmp_path / "rules.txt"
+    rules.write_text("# transitive step\nR(x,y) -> S(y,w)\n")
+    code, out, _ = run_cli(
+        capsys, "chase", "run", sid, "db", "--rules-file", str(rules), "--stages"
+    )
+    assert code == 0
+    assert "db::chased" in out and "fixpoint" in out and "stage" in out
+
+    code, out, _ = run_cli(capsys, "query", sid, "db::chased",
+                           "q(x,y) :- R(x,z), S(z,y)")
+    assert code == 0 and "2 answer(s)" in out and "_:w0" in out
+
+    code, out, _ = run_cli(capsys, "explain", sid, "db::chased",
+                           "q(x,y) :- R(x,z), S(z,y)")
+    assert code == 0 and "plan" in out
+
+    code, out, _ = run_cli(capsys, "session", "ls")
+    assert code == 0 and sid in out and "atoms used" in out
+
+    code, out, _ = run_cli(capsys, "stats")
+    assert code == 0 and "sessions" in out and "shape cache hits" in out
+
+    code, out, _ = run_cli(capsys, "session", "rm", sid)
+    assert code == 0
+    code, out, err = run_cli(capsys, "session", "show", sid)
+    assert code == 1 and "404" in err
+
+
+def test_cli_service_error_exit_code(capsys, server_url):
+    code, _, err = run_cli(capsys, "session", "show", "ffffffffffff")
+    assert code == 1
+    assert "UnknownSessionError" in err
+
+
+def test_cli_unreachable_server(capsys, monkeypatch):
+    monkeypatch.setenv("REPRO_SERVICE_URL", "http://127.0.0.1:9")  # discard port
+    code, _, err = run_cli(capsys, "stats")
+    assert code == 2
+    assert "repro serve" in err

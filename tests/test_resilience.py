@@ -27,6 +27,7 @@ from repro.chase import ChaseBudgetExceeded, ChaseExecutionError, parse_tgds
 from repro.core.builders import structure_from_text
 from repro.engine import (
     ResilienceConfig,
+    ResilienceConfigError,
     SemiNaiveChaseEngine,
     resolve_resilience,
     run_chase,
@@ -310,6 +311,52 @@ def test_resilience_config_from_env(monkeypatch):
     monkeypatch.delenv("REPRO_SERIAL_FALLBACK")
     default = ResilienceConfig.from_env()
     assert default == ResilienceConfig()
+
+
+@pytest.mark.parametrize("raw", ["soon", "1h", "-3", "0", "nan", "inf"])
+def test_malformed_stage_deadline_raises_typed_error(monkeypatch, raw):
+    monkeypatch.setenv("REPRO_STAGE_DEADLINE", raw)
+    with pytest.raises(ResilienceConfigError, match="REPRO_STAGE_DEADLINE"):
+        ResilienceConfig.from_env()
+
+
+@pytest.mark.parametrize("raw", ["two", "2.5", "-1", "1e3"])
+def test_malformed_max_retries_raises_typed_error(monkeypatch, raw):
+    monkeypatch.setenv("REPRO_MAX_RETRIES", raw)
+    with pytest.raises(ResilienceConfigError, match="REPRO_MAX_RETRIES"):
+        ResilienceConfig.from_env()
+
+
+@pytest.mark.parametrize("raw", ["maybe", "flase", "2", "ja"])
+def test_malformed_serial_fallback_raises_typed_error(monkeypatch, raw):
+    monkeypatch.setenv("REPRO_SERIAL_FALLBACK", raw)
+    with pytest.raises(ResilienceConfigError, match="REPRO_SERIAL_FALLBACK"):
+        ResilienceConfig.from_env()
+
+
+def test_env_override_errors_surface_at_engine_construction(monkeypatch):
+    """A typo'd knob fails the run up front, not mid-supervision."""
+    monkeypatch.setenv("REPRO_MAX_RETRIES", "lots")
+    with pytest.raises(ResilienceConfigError, match="REPRO_MAX_RETRIES"):
+        run_chase(TGDS, fresh_instance(), 5, 100, workers=2)
+
+
+def test_empty_env_overrides_keep_defaults(monkeypatch):
+    """Empty strings (`REPRO_X= cmd` shell idiom) mean "use the default"."""
+    monkeypatch.setenv("REPRO_STAGE_DEADLINE", "")
+    monkeypatch.setenv("REPRO_MAX_RETRIES", "")
+    monkeypatch.setenv("REPRO_SERIAL_FALLBACK", "")
+    assert ResilienceConfig.from_env() == ResilienceConfig()
+
+
+@pytest.mark.parametrize(
+    "raw, expected",
+    [("1", True), ("true", True), ("YES", True), ("On", True),
+     ("0", False), ("false", False), ("No", False), ("OFF", False)],
+)
+def test_serial_fallback_accepts_conventional_spellings(monkeypatch, raw, expected):
+    monkeypatch.setenv("REPRO_SERIAL_FALLBACK", raw)
+    assert ResilienceConfig.from_env().serial_fallback is expected
 
 
 def test_resolve_resilience_normalisation():
