@@ -20,7 +20,8 @@ import json
 import os
 import signal
 import sys
-from typing import Dict, List, Optional, Sequence
+import time
+from typing import Dict, List, Optional, Sequence, Tuple
 
 DEFAULT_URL = "http://127.0.0.1:8765"
 
@@ -98,6 +99,10 @@ def cmd_serve(args) -> int:
         session_max_atoms=args.session_max_atoms,
         default_strategy=args.default_strategy,
         quiet=not args.verbose,
+        telemetry=not args.no_telemetry,
+        trace_ring=args.trace_ring,
+        access_log=args.access_log,
+        slow_request_seconds=args.slow_request_seconds,
     )
 
     def _terminate(signum, frame):  # noqa: ARG001 - signal signature
@@ -323,6 +328,141 @@ def cmd_json(args) -> int:
 
 
 # ----------------------------------------------------------------------
+# repro top
+def _histogram_quantiles(samples, name: str, group_label: str) -> Dict[str, Dict[str, float]]:
+    """p50/p95/p99 per *group_label* value from cumulative ``_bucket`` samples."""
+    from .obs.metrics import quantile_from_cumulative
+
+    grouped: Dict[str, List[Tuple[float, float]]] = {}
+    for sample in samples:
+        if sample.name != f"{name}_bucket":
+            continue
+        le = sample.labels.get("le", "")
+        bound = float("inf") if le == "+Inf" else float(le)
+        key = sample.labels.get(group_label, "")
+        grouped.setdefault(key, []).append((bound, sample.value))
+    quantiles: Dict[str, Dict[str, float]] = {}
+    for key, buckets in grouped.items():
+        buckets.sort()
+        quantiles[key] = {
+            "p50": quantile_from_cumulative(buckets, 0.5),
+            "p95": quantile_from_cumulative(buckets, 0.95),
+            "p99": quantile_from_cumulative(buckets, 0.99),
+        }
+    return quantiles
+
+
+def _ms(seconds: float) -> str:
+    return f"{seconds * 1000:.2f}ms"
+
+
+def _render_top(
+    stats: dict,
+    samples,
+    previous: Dict[str, Tuple[int, float]],
+    now: float,
+) -> Tuple[str, Dict[str, Tuple[int, float]]]:
+    """One ``repro top`` frame; returns (text, per-session request history)."""
+    from .obs.exposition import sample_value
+
+    lines: List[str] = []
+    sessions = stats["sessions"]
+    shape = stats["shape_cache"]
+    errors = int(sample_value(samples, "repro_server_errors_total"))
+    slow = int(sample_value(samples, "repro_slow_requests_total"))
+    lines.append(
+        f"repro top — uptime {stats['uptime_seconds']:.1f}s — "
+        f"requests {stats['requests_total']} "
+        f"(errors {stats['errors_total']}, 5xx {errors}, slow {slow}) — "
+        f"rss {stats['peak_rss_kb'] // 1024}MB"
+    )
+    lines.append(
+        f"sessions {sessions['used']}/{sessions['total']} — "
+        f"shape cache {shape['hits']} hit / {shape['misses']} miss "
+        f"({shape['entries']} entries)"
+    )
+    lines.append("")
+
+    # Per-route latency from the server-wide request histograms.
+    route_quantiles = _histogram_quantiles(samples, "repro_request_seconds", "route")
+    route_rows = []
+    for route in sorted(route_quantiles):
+        count = sample_value(samples, "repro_request_seconds_count", {"route": route})
+        q = route_quantiles[route]
+        route_rows.append(
+            [route, int(count), _ms(q["p50"]), _ms(q["p95"]), _ms(q["p99"])]
+        )
+    if route_rows:
+        lines.append(render_table(
+            ["route", "requests", "p50", "p95", "p99"], route_rows, title="routes",
+        ))
+        lines.append("")
+
+    # Per-session: req/s between frames, latency quantiles, pool reuse,
+    # atom accounting, fault counters.
+    session_quantiles = _histogram_quantiles(
+        samples, "repro_session_service_request_seconds", "session"
+    )
+    history: Dict[str, Tuple[int, float]] = {}
+    session_rows = []
+    for detail in stats.get("sessions_detail", []):
+        sid = detail["id"]
+        requests = int(detail["requests"])
+        history[sid] = (requests, now)
+        prior = previous.get(sid)
+        if prior is not None and now > prior[1]:
+            rate = f"{(requests - prior[0]) / (now - prior[1]):.1f}"
+        else:
+            rate = "-"
+        q = session_quantiles.get(sid, {"p50": 0.0, "p95": 0.0, "p99": 0.0})
+        pool = detail["engine_pool"]
+        atoms = detail["atoms"]
+        faults = int(sum(
+            s.value for s in samples
+            if s.name.startswith("repro_session_service_chase_faults_")
+            and s.labels.get("session") == sid
+        ))
+        session_rows.append([
+            sid, detail["name"], rate, requests,
+            _ms(q["p50"]), _ms(q["p95"]), _ms(q["p99"]),
+            f"{atoms['used']}/{atoms['total']}",
+            f"{pool['reused']}/{pool['built']}",
+            faults,
+        ])
+    lines.append(render_table(
+        ["session", "name", "req/s", "requests", "p50", "p95", "p99",
+         "atoms", "pool reuse/built", "faults"],
+        session_rows,
+        title=f"{len(session_rows)} session(s)",
+    ))
+    return "\n".join(lines), history
+
+
+def cmd_top(args) -> int:
+    """A polling terminal view over ``/metrics`` + ``/server/stats``."""
+    from .obs.exposition import parse_exposition
+
+    iterations = 1 if args.once else args.iterations
+    previous: Dict[str, Tuple[int, float]] = {}
+    count = 0
+    with _client(args) as client:
+        while True:
+            stats = client.server_stats()
+            samples = parse_exposition(client.metrics_text())
+            frame, previous = _render_top(stats, samples, previous, time.monotonic())
+            count += 1
+            if not args.once and sys.stdout.isatty():
+                print("\x1b[2J\x1b[H", end="")
+            _print(frame)
+            if iterations and count >= iterations:
+                return 0
+            try:
+                time.sleep(args.interval)
+            except KeyboardInterrupt:
+                return 0
+
+
+# ----------------------------------------------------------------------
 # parser
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
@@ -346,6 +486,14 @@ def build_parser() -> argparse.ArgumentParser:
     p.add_argument("--default-strategy", default="auto",
                    choices=("auto", "nested", "hash", "wcoj"))
     p.add_argument("--verbose", action="store_true", help="log every request")
+    p.add_argument("--access-log", default=None, metavar="PATH",
+                   help="append one JSON line per request to this file")
+    p.add_argument("--slow-request-seconds", type=float, default=1.0,
+                   help="flag access-log entries at or past this latency")
+    p.add_argument("--trace-ring", type=int, default=20_000,
+                   help="trace ring capacity in lines (0 disables the ring)")
+    p.add_argument("--no-telemetry", action="store_true",
+                   help="disable request tracing, histograms and access log")
     p.set_defaults(func=cmd_serve)
 
     session = sub.add_parser("session", help="manage sessions")
@@ -411,6 +559,17 @@ def build_parser() -> argparse.ArgumentParser:
 
     p = sub.add_parser("stats", help="server-level accounting")
     p.set_defaults(func=cmd_stats)
+
+    p = sub.add_parser(
+        "top", help="live per-session request/latency view (polls /metrics)"
+    )
+    p.add_argument("--interval", type=float, default=2.0,
+                   help="seconds between polls (default 2)")
+    p.add_argument("--iterations", type=int, default=0,
+                   help="stop after N frames (0 = until Ctrl-C)")
+    p.add_argument("--once", action="store_true",
+                   help="print a single frame and exit (no screen clearing)")
+    p.set_defaults(func=cmd_top)
 
     p = sub.add_parser("get", help="raw GET, JSON to stdout (scripting)")
     p.add_argument("path", help="e.g. /server/stats")

@@ -20,16 +20,23 @@ lookups return shared no-op singletons and trace sites are a single
 
 from .metrics import (
     CLOCK,
+    LATENCY_BUCKETS,
+    SIZE_BUCKETS,
+    Histogram,
     MetricsRegistry,
     NULL_COUNTER,
     NULL_GAUGE,
+    NULL_HISTOGRAM,
     NULL_TIMER,
     active,
     counter,
     disable,
     enable,
     gauge,
+    histogram,
+    log_buckets,
     peak_rss_kb,
+    quantile_from_cumulative,
     snapshot,
     stopwatch,
     timer,
@@ -41,16 +48,28 @@ from .report import (
     explain,
     summarize_trace,
 )
-from .trace import NULL_SPAN, Tracer, disable_tracing, enable_tracing, get_tracer
+from .trace import (
+    NULL_SPAN,
+    Tracer,
+    disable_tracing,
+    enable_tracing,
+    get_tracer,
+    install_tracer,
+    uninstall_tracer,
+)
 
 __all__ = [
     "CLOCK",
     "ChaseRunStats",
+    "Histogram",
+    "LATENCY_BUCKETS",
     "MetricsRegistry",
     "NULL_COUNTER",
     "NULL_GAUGE",
+    "NULL_HISTOGRAM",
     "NULL_SPAN",
     "NULL_TIMER",
+    "SIZE_BUCKETS",
     "StageStats",
     "TraceSummary",
     "Tracer",
@@ -63,9 +82,14 @@ __all__ = [
     "explain",
     "gauge",
     "get_tracer",
+    "histogram",
+    "install_tracer",
+    "log_buckets",
     "peak_rss_kb",
+    "quantile_from_cumulative",
     "snapshot",
     "stopwatch",
     "summarize_trace",
     "timer",
+    "uninstall_tracer",
 ]

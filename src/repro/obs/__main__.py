@@ -25,7 +25,15 @@ def main(argv=None) -> int:
     summarize = commands.add_parser(
         "summarize", help="Summarize a JSON-lines trace file."
     )
-    summarize.add_argument("trace", help="Path to the trace .jsonl file.")
+    summarize.add_argument(
+        "trace", help="Path to the trace .jsonl file, or '-' for stdin."
+    )
+    summarize.add_argument(
+        "--trace-id",
+        default=None,
+        help="Only count lines stamped with this request trace id "
+        "(carves one request's span tree out of a service trace ring).",
+    )
     summarize.add_argument(
         "--json",
         action="store_true",
@@ -33,7 +41,8 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    summary = summarize_trace(args.trace)
+    source = sys.stdin if args.trace == "-" else args.trace
+    summary = summarize_trace(source, trace_id=args.trace_id)
     if args.json:
         print(
             json.dumps(

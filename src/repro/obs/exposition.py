@@ -1,0 +1,228 @@
+"""Prometheus text exposition: render registries, parse scrapes.
+
+The service's ``GET /metrics`` endpoint renders every session's
+:class:`~repro.obs.metrics.MetricsRegistry` plus the server-wide request
+histograms in the Prometheus text exposition format (version 0.0.4), and
+``repro top`` scrapes it back — so this module carries both halves:
+
+* :class:`Exposition` — a builder that collects samples into metric
+  families (one ``# TYPE`` header per family, label-rendered samples,
+  histograms expanded into cumulative ``_bucket{le=…}`` / ``_sum`` /
+  ``_count`` series) and renders the whole text in one pass;
+* :func:`parse_exposition` — the inverse: scrape text → a list of
+  :class:`Sample` tuples, enough for ``repro top`` to recompute per-session
+  rates and quantiles and for tests/CI to assert the format round-trips.
+
+Naming follows the Prometheus conventions mechanically: dotted library
+names are sanitised (``service.chase.runs`` → ``service_chase_runs``),
+prefixed ``repro_``, and counters gain a ``_total`` suffix.  Timers expose
+as two counters (``…_seconds_total`` and ``…_runs_total``), which is what a
+monotonically accumulating wall-clock pair is.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, NamedTuple, Optional, Tuple
+
+from .metrics import Histogram, MetricsRegistry
+
+__all__ = [
+    "Exposition",
+    "Sample",
+    "parse_exposition",
+]
+
+_NAME_OK = re.compile(r"[^a-zA-Z0-9_:]")
+
+#: The scrape's content type, echoed by ``GET /metrics``.
+CONTENT_TYPE = "text/plain; version=0.0.4; charset=utf-8"
+
+
+def sanitize(name: str) -> str:
+    """A legal Prometheus metric-name fragment for a dotted library name."""
+    cleaned = _NAME_OK.sub("_", name)
+    if cleaned and cleaned[0].isdigit():
+        cleaned = "_" + cleaned
+    return cleaned
+
+
+def _escape_label(value: str) -> str:
+    return value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+
+
+def _labels_text(labels: Optional[Dict[str, str]]) -> str:
+    if not labels:
+        return ""
+    inner = ",".join(
+        f'{sanitize(key)}="{_escape_label(str(value))}"'
+        for key, value in sorted(labels.items())
+    )
+    return "{" + inner + "}"
+
+
+def _format_value(value: float) -> str:
+    if value == float("inf"):
+        return "+Inf"
+    if isinstance(value, float) and value.is_integer():
+        return str(int(value))
+    return repr(value) if isinstance(value, float) else str(value)
+
+
+class _Family:
+    __slots__ = ("kind", "samples")
+
+    def __init__(self, kind: str) -> None:
+        self.kind = kind
+        # (suffix, labels_text, value) triples in insertion order.
+        self.samples: List[Tuple[str, str, float]] = []
+
+
+class Exposition:
+    """Collects metric samples and renders one exposition-format text."""
+
+    def __init__(self, prefix: str = "repro_") -> None:
+        self.prefix = prefix
+        self._families: Dict[str, _Family] = {}
+
+    # ------------------------------------------------------------------
+    def _family(self, name: str, kind: str) -> _Family:
+        family = self._families.get(name)
+        if family is None:
+            family = self._families[name] = _Family(kind)
+        return family
+
+    def add(
+        self,
+        name: str,
+        kind: str,
+        value: float,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """One sample of a counter/gauge family (*name* is pre-sanitised)."""
+        self._family(name, kind).samples.append(
+            ("", _labels_text(labels), value)
+        )
+
+    def add_histogram(
+        self,
+        name: str,
+        histogram: Histogram,
+        labels: Optional[Dict[str, str]] = None,
+    ) -> None:
+        """Expand *histogram* into cumulative ``_bucket``/``_sum``/``_count``."""
+        family = self._family(name, "histogram")
+        base = dict(labels or {})
+        for bound, cumulative in histogram.buckets():
+            bucket_labels = dict(base)
+            bucket_labels["le"] = _format_value(float(bound))
+            family.samples.append(
+                ("_bucket", _labels_text(bucket_labels), cumulative)
+            )
+        labels_text = _labels_text(base)
+        family.samples.append(("_sum", labels_text, histogram.sum))
+        family.samples.append(("_count", labels_text, histogram.count))
+
+    def add_registry(
+        self,
+        registry: MetricsRegistry,
+        labels: Optional[Dict[str, str]] = None,
+        namespace: str = "",
+    ) -> None:
+        """Every instrument of *registry*, labelled — the per-session path.
+
+        Counters become ``<name>_total`` counters, gauges stay gauges,
+        timers become the ``_seconds_total``/``_runs_total`` counter pair,
+        histograms expand fully.  *namespace* prefixes the sanitised name
+        (e.g. ``session_``).
+        """
+        for name, counter in sorted(registry.counters.items()):
+            self.add(
+                f"{namespace}{sanitize(name)}_total", "counter",
+                counter.value, labels,
+            )
+        for name, gauge in sorted(registry.gauges.items()):
+            self.add(f"{namespace}{sanitize(name)}", "gauge", gauge.value, labels)
+        for name, timer in sorted(registry.timers.items()):
+            base = f"{namespace}{sanitize(name)}"
+            self.add(f"{base}_seconds_total", "counter", timer.seconds, labels)
+            self.add(f"{base}_runs_total", "counter", timer.count, labels)
+        for name, histo in sorted(registry.histograms.items()):
+            self.add_histogram(f"{namespace}{sanitize(name)}", histo, labels)
+
+    # ------------------------------------------------------------------
+    def render(self) -> str:
+        lines: List[str] = []
+        for name, family in self._families.items():
+            full = self.prefix + name
+            lines.append(f"# TYPE {full} {family.kind}")
+            for suffix, labels_text, value in family.samples:
+                lines.append(f"{full}{suffix}{labels_text} {_format_value(value)}")
+        return "\n".join(lines) + "\n"
+
+
+# ----------------------------------------------------------------------
+# Parsing (repro top, tests, CI reconciliation)
+# ----------------------------------------------------------------------
+class Sample(NamedTuple):
+    """One parsed exposition line: name (incl. suffix), labels, value."""
+
+    name: str
+    labels: Dict[str, str]
+    value: float
+
+
+_SAMPLE = re.compile(
+    r"^(?P<name>[a-zA-Z_:][a-zA-Z0-9_:]*)"
+    r"(?:\{(?P<labels>[^}]*)\})?"
+    r"\s+(?P<value>\S+)\s*$"
+)
+_LABEL = re.compile(r'([a-zA-Z_][a-zA-Z0-9_]*)="((?:[^"\\]|\\.)*)"')
+
+
+def parse_exposition(text: str) -> List[Sample]:
+    """Parse exposition text into samples; raises ``ValueError`` on garbage.
+
+    Strict on purpose — the CI smoke *asserts the scrape parses*, so an
+    exposition-format regression must fail loudly, not be skipped over.
+    """
+    samples: List[Sample] = []
+    for raw in text.splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        match = _SAMPLE.match(line)
+        if match is None:
+            raise ValueError(f"unparseable exposition line: {raw!r}")
+        labels: Dict[str, str] = {}
+        if match.group("labels"):
+            for key, value in _LABEL.findall(match.group("labels")):
+                labels[key] = (
+                    value.replace("\\n", "\n")
+                    .replace('\\"', '"')
+                    .replace("\\\\", "\\")
+                )
+        value_text = match.group("value")
+        if value_text == "+Inf":
+            value = float("inf")
+        elif value_text == "-Inf":
+            value = float("-inf")
+        else:
+            value = float(value_text)
+        samples.append(Sample(match.group("name"), labels, value))
+    return samples
+
+
+def sample_value(
+    samples: Iterable[Sample],
+    name: str,
+    labels: Optional[Dict[str, str]] = None,
+) -> float:
+    """Sum of every sample matching *name* whose labels include *labels*."""
+    wanted = labels or {}
+    return sum(
+        s.value
+        for s in samples
+        if s.name == name
+        and all(s.labels.get(k) == v for k, v in wanted.items())
+    )

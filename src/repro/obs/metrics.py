@@ -32,8 +32,10 @@ wall-time row in the perf trajectories.
 
 from __future__ import annotations
 
+import threading
 import time
-from typing import Callable, Dict, Optional
+from bisect import bisect_left
+from typing import Callable, Dict, Optional, Sequence, Tuple
 
 #: The library-wide wall-clock source.  Monotonic, high-resolution, and the
 #: single clock the engine, the tracer and the benchmark harnesses share.
@@ -107,6 +109,115 @@ class _TimerSection:
         self._timer.add(self._timer._clock() - self._started)
 
 
+def log_buckets(lo: float, hi: float, factor: float = 2.0) -> Tuple[float, ...]:
+    """Log-spaced bucket upper bounds: ``lo, lo*factor, ...`` up through *hi*."""
+    if lo <= 0 or factor <= 1:
+        raise ValueError(f"need lo > 0 and factor > 1, got {lo}, {factor}")
+    bounds = []
+    bound = lo
+    while bound <= hi * (1 + 1e-12):
+        bounds.append(bound)
+        bound *= factor
+    return tuple(bounds)
+
+
+#: Default latency buckets: 1 µs → ~67 s in powers of two (27 buckets).
+LATENCY_BUCKETS = log_buckets(1e-6, 70.0, 2.0)
+
+#: Default payload-size buckets: 64 B → ~64 MiB in powers of four.
+SIZE_BUCKETS = log_buckets(64, 64 * 4 ** 10, 4.0)
+
+
+class Histogram:
+    """Fixed-bucket log-spaced histogram; the one **thread-safe** instrument.
+
+    Counters and gauges stay single-threaded by design (the engine is
+    single-threaded per run), but histograms exist for the *service* layer,
+    where every request thread records its own latency — so ``observe`` and
+    ``snapshot`` are serialised on an internal lock, and a snapshot is a
+    consistent cut (``count == sum(bucket counts)`` always holds).
+
+    Buckets are upper bounds with ``le`` semantics plus an implicit +Inf
+    overflow bucket, matching Prometheus histogram exposition; bounds are
+    fixed at construction (:data:`LATENCY_BUCKETS` by default) so two
+    histograms with the same bounds can be merged bucket-wise.
+    """
+
+    __slots__ = ("bounds", "_counts", "count", "sum", "_lock")
+
+    def __init__(self, bounds: Optional[Sequence[float]] = None) -> None:
+        self.bounds: Tuple[float, ...] = (
+            tuple(bounds) if bounds is not None else LATENCY_BUCKETS
+        )
+        if list(self.bounds) != sorted(self.bounds):
+            raise ValueError("histogram bounds must be sorted ascending")
+        self._counts = [0] * (len(self.bounds) + 1)
+        self.count = 0
+        self.sum = 0.0
+        self._lock = threading.Lock()
+
+    def observe(self, value: float) -> None:
+        index = bisect_left(self.bounds, value)
+        with self._lock:
+            self._counts[index] += 1
+            self.count += 1
+            self.sum += value
+
+    def buckets(self) -> Tuple[Tuple[float, int], ...]:
+        """``(upper_bound, cumulative_count)`` pairs, +Inf last — a
+        consistent cut under the lock, cumulative like Prometheus ``le``."""
+        with self._lock:
+            counts = list(self._counts)
+        out = []
+        running = 0
+        for bound, bucket in zip(self.bounds, counts):
+            running += bucket
+            out.append((bound, running))
+        out.append((float("inf"), running + counts[-1]))
+        return tuple(out)
+
+    def quantile(self, q: float) -> float:
+        """The *q*-quantile estimated from bucket bounds (0 when empty)."""
+        return quantile_from_cumulative(self.buckets(), q)
+
+    def snapshot(self) -> Dict[str, object]:
+        """JSON-ready summary: count, sum and the headline percentiles."""
+        with self._lock:
+            count, total = self.count, self.sum
+        return {
+            "count": count,
+            "sum": round(total, 9),
+            "p50": self.quantile(0.50),
+            "p95": self.quantile(0.95),
+            "p99": self.quantile(0.99),
+        }
+
+
+def quantile_from_cumulative(
+    buckets: Sequence[Tuple[float, int]], q: float
+) -> float:
+    """The *q*-quantile from cumulative ``(upper_bound, count)`` buckets.
+
+    The Prometheus-style estimate: the upper bound of the first bucket whose
+    cumulative count reaches rank ``q * total`` (the last finite bound for
+    the +Inf bucket).  Shared by :meth:`Histogram.quantile` and ``repro
+    top``, which recomputes quantiles from scraped exposition buckets.
+    """
+    if not buckets:
+        return 0.0
+    total = buckets[-1][1]
+    if total <= 0:
+        return 0.0
+    rank = q * total
+    last_finite = 0.0
+    for bound, cumulative in buckets:
+        if bound != float("inf"):
+            last_finite = bound
+        if cumulative >= rank:
+            return last_finite
+    return last_finite
+
+
 # ----------------------------------------------------------------------
 # Disabled instruments (shared no-op singletons)
 # ----------------------------------------------------------------------
@@ -154,11 +265,31 @@ class _NullTimer:
         return _NULL_SECTION
 
 
+class _NullHistogram:
+    __slots__ = ()
+    bounds: Tuple[float, ...] = ()
+    count = 0
+    sum = 0.0
+
+    def observe(self, value: float) -> None:
+        pass
+
+    def buckets(self) -> Tuple[Tuple[float, int], ...]:
+        return ()
+
+    def quantile(self, q: float) -> float:
+        return 0.0
+
+    def snapshot(self) -> Dict[str, object]:
+        return {"count": 0, "sum": 0.0, "p50": 0.0, "p95": 0.0, "p99": 0.0}
+
+
 #: The handles every disabled lookup returns — one shared instance per kind,
 #: so holding a handle across a chase run costs nothing when metrics are off.
 NULL_COUNTER = _NullCounter()
 NULL_GAUGE = _NullGauge()
 NULL_TIMER = _NullTimer()
+NULL_HISTOGRAM = _NullHistogram()
 
 
 # ----------------------------------------------------------------------
@@ -175,12 +306,13 @@ class MetricsRegistry:
     workers report through the engine side, never directly.
     """
 
-    __slots__ = ("counters", "gauges", "timers", "clock")
+    __slots__ = ("counters", "gauges", "timers", "histograms", "clock")
 
     def __init__(self, clock: Callable[[], float] = CLOCK) -> None:
         self.counters: Dict[str, Counter] = {}
         self.gauges: Dict[str, Gauge] = {}
         self.timers: Dict[str, Timer] = {}
+        self.histograms: Dict[str, Histogram] = {}
         self.clock = clock
 
     def counter(self, name: str) -> Counter:
@@ -201,10 +333,25 @@ class MetricsRegistry:
             instrument = self.timers[name] = Timer(self.clock)
         return instrument
 
+    def histogram(
+        self, name: str, bounds: Optional[Sequence[float]] = None
+    ) -> Histogram:
+        """The named histogram (created on first lookup, *bounds* fixed then).
+
+        First-lookup creation races are tolerated via a setdefault: the
+        service's request threads may look a histogram up concurrently, and
+        every thread must end up bumping the same instrument.
+        """
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms.setdefault(name, Histogram(bounds))
+        return instrument
+
     def reset(self) -> None:
         self.counters.clear()
         self.gauges.clear()
         self.timers.clear()
+        self.histograms.clear()
 
     def snapshot(self) -> Dict[str, object]:
         """A plain, JSON-ready dict of every instrument's current value."""
@@ -215,6 +362,8 @@ class MetricsRegistry:
             out[name] = gauge.value
         for name, timer in sorted(self.timers.items()):
             out[name] = {"seconds": timer.seconds, "count": timer.count}
+        for name, histogram in sorted(self.histograms.items()):
+            out[name] = histogram.snapshot()
         return out
 
 
@@ -257,6 +406,13 @@ def gauge(name: str):
 def timer(name: str):
     """The named timer of the active registry, or :data:`NULL_TIMER`."""
     return _ACTIVE.timer(name) if _ACTIVE is not None else NULL_TIMER
+
+
+def histogram(name: str, bounds: Optional[Sequence[float]] = None):
+    """The named histogram of the active registry, or :data:`NULL_HISTOGRAM`."""
+    return (
+        _ACTIVE.histogram(name, bounds) if _ACTIVE is not None else NULL_HISTOGRAM
+    )
 
 
 def snapshot() -> Dict[str, object]:

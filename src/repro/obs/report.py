@@ -422,15 +422,25 @@ class TraceSummary:
         return "\n".join(lines)
 
 
-def summarize_trace(source) -> TraceSummary:
-    """Fold a trace (file path or iterable of JSON lines) into totals."""
+def summarize_trace(source, trace_id: Optional[str] = None) -> TraceSummary:
+    """Fold a trace (file path or iterable of JSON lines) into totals.
+
+    With *trace_id*, only lines stamped ``"trace": trace_id`` contribute to
+    the span/event/chase totals — the way to carve one request's span tree
+    out of a service trace ring (``repro.obs summarize - --trace-id …``).
+    Every line still counts toward :attr:`TraceSummary.lines`.
+    """
     if isinstance(source, str):
         with open(source, "r", encoding="utf-8") as handle:
-            return _summarize_lines(handle, TraceSummary())
-    return _summarize_lines(source, TraceSummary())
+            return _summarize_lines(handle, TraceSummary(), trace_id)
+    return _summarize_lines(source, TraceSummary(), trace_id)
 
 
-def _summarize_lines(lines: Iterable[str], summary: TraceSummary) -> TraceSummary:
+def _summarize_lines(
+    lines: Iterable[str],
+    summary: TraceSummary,
+    trace_id: Optional[str] = None,
+) -> TraceSummary:
     for raw in lines:
         raw = raw.strip()
         if not raw:
@@ -442,6 +452,8 @@ def _summarize_lines(lines: Iterable[str], summary: TraceSummary) -> TraceSummar
             name = line["name"]
         except (ValueError, KeyError, TypeError):
             summary.malformed += 1
+            continue
+        if trace_id is not None and line.get("trace") != trace_id:
             continue
         if kind == "E":
             entry = summary.spans.setdefault(name, [0, 0.0])

@@ -44,16 +44,55 @@ into the object (reserved keys are prefixed with ``attr_`` on collision).
 
 from __future__ import annotations
 
+import itertools
 import json
+import threading
 from typing import Callable, IO, List, Optional, Union
 
 from .metrics import CLOCK
 
 #: Keys every trace line owns; attribute names colliding with them are
 #: emitted with an ``attr_`` prefix instead of corrupting the envelope.
-_RESERVED = frozenset({"type", "id", "in", "name", "t", "dur"})
+#: ``trace`` is reserved for the request-scoped trace id (see
+#: :meth:`Tracer.set_trace_id`).
+_RESERVED = frozenset({"type", "id", "in", "name", "t", "dur", "trace"})
 
 Sink = Union[str, IO[str], Callable[[str], None]]
+
+#: One shared encoder: ``json.dumps(..., default=repr)`` would construct a
+#: fresh ``JSONEncoder`` per line (the kwargs defeat the cached default
+#: encoder), which dominates emission cost on hot request paths.
+_ENCODER = json.JSONEncoder(separators=(",", ":"), default=repr)
+
+
+def render_line(
+    kind: str,
+    name: str,
+    now: float,
+    attrs: dict,
+    span_id: Optional[int],
+    parent_id: int,
+    duration: Optional[float],
+    trace_id: Optional[str],
+) -> str:
+    """Serialize one trace record to its wire line (without the newline).
+
+    Shared by :meth:`Tracer._emit` and by sinks that defer serialization
+    (the service's trace ring keeps raw records and renders them only when
+    the ring is downloaded), so both paths produce byte-identical lines.
+    """
+    line = {"type": kind, "name": name}
+    if span_id is not None:
+        line["id"] = span_id
+    line["in"] = parent_id
+    line["t"] = round(now, 9)
+    if duration is not None:
+        line["dur"] = round(duration, 9)
+    if trace_id is not None:
+        line["trace"] = trace_id
+    for key, value in attrs.items():
+        line[f"attr_{key}" if key in _RESERVED else key] = value
+    return _ENCODER.encode(line)
 
 
 class Span:
@@ -80,9 +119,9 @@ class Span:
 
     def __enter__(self) -> "Span":
         tracer = self.tracer
-        tracer._next_id += 1
-        self.span_id = tracer._next_id
-        self.parent_id = tracer._stack[-1] if tracer._stack else 0
+        self.span_id = tracer._new_id()
+        stack = tracer._stack
+        self.parent_id = stack[-1] if stack else 0
         self._started = tracer.clock()
         tracer._emit(
             "B", self.name, self._started, self.attrs,
@@ -130,9 +169,17 @@ NULL_SPAN = _NullSpan()
 
 
 class Tracer:
-    """Emits one JSON object per line to a sink, tracking the span stack."""
+    """Emits one JSON object per line to a sink, tracking the span stack.
 
-    __slots__ = ("clock", "_write", "_owned", "_stack", "_next_id")
+    **Thread discipline.**  The open-span stack and the current trace id are
+    *thread-local*, so concurrent request threads (the service) each grow
+    their own connected span tree without interleaving parents; span ids
+    stay globally consecutive under a lock, and each emitted line is one
+    atomic ``write`` call.  Single-threaded use is unchanged — ids and
+    parentage are exactly as deterministic as before.
+    """
+
+    __slots__ = ("clock", "_write", "_owned", "_local", "_ids")
 
     def __init__(
         self, sink: Sink, clock: Callable[[], float] = CLOCK
@@ -150,10 +197,36 @@ class Tracer:
             self._write = sink.write  # type: ignore[union-attr]
         else:
             self._write = sink  # type: ignore[assignment]
-        self._stack: List[int] = []
-        self._next_id = 0
+        self._local = threading.local()
+        # itertools.count.__next__ is atomic under the GIL, so ids stay
+        # globally consecutive across threads without a lock on the hot path.
+        self._ids = itertools.count(1)
+
+    @property
+    def _stack(self) -> List[int]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _new_id(self) -> int:
+        return next(self._ids)
 
     # ------------------------------------------------------------------
+    def set_trace_id(self, trace_id: Optional[str]) -> None:
+        """Stamp every line this *thread* emits with ``"trace": trace_id``.
+
+        ``None`` clears the stamp.  The id is thread-local on purpose: the
+        service sets it at request entry and clears it at exit, so engine
+        spans emitted anywhere down the call stack inherit the request's id
+        while concurrent requests keep theirs.
+        """
+        self._local.trace_id = trace_id
+
+    def trace_id(self) -> Optional[str]:
+        """The calling thread's current trace id, or ``None``."""
+        return getattr(self._local, "trace_id", None)
+
     def span(self, name: str, **attrs) -> Span:
         """A new child span of the current one; use as a context manager."""
         return Span(self, name, attrs)
@@ -179,20 +252,16 @@ class Tracer:
         parent_id: Optional[int] = None,
         duration: Optional[float] = None,
     ) -> None:
-        line = {"type": kind, "name": name}
-        if span_id is not None:
-            line["id"] = span_id
-        line["in"] = (
-            parent_id
-            if parent_id is not None
-            else (self._stack[-1] if self._stack else 0)
+        if parent_id is None:
+            stack = self._stack
+            parent_id = stack[-1] if stack else 0
+        self._write(
+            render_line(
+                kind, name, now, attrs, span_id, parent_id, duration,
+                getattr(self._local, "trace_id", None),
+            )
+            + "\n"
         )
-        line["t"] = round(now, 9)
-        if duration is not None:
-            line["dur"] = round(duration, 9)
-        for key, value in attrs.items():
-            line[f"attr_{key}" if key in _RESERVED else key] = value
-        self._write(json.dumps(line, default=repr) + "\n")
 
 
 #: The active tracer (``None`` = tracing disabled, the default).
@@ -226,3 +295,29 @@ def get_tracer() -> Optional[Tracer]:
     call out of the loop (the engine fetches once per run/stage).
     """
     return _TRACER
+
+
+def install_tracer(tracer: Tracer) -> Optional[Tracer]:
+    """Make *tracer* the active tracer **without closing** the previous one.
+
+    The service uses this to mount its ring-buffer tracer while respecting a
+    tracer a test or embedding application already enabled; the previous
+    tracer is returned so the caller can decide what to do with it (the
+    service simply declines to install over one).
+    """
+    global _TRACER
+    previous, _TRACER = _TRACER, tracer
+    return previous
+
+
+def uninstall_tracer(tracer: Tracer) -> bool:
+    """Deactivate *tracer* iff it is still the active one (never closes it).
+
+    Returns whether it was active.  A no-op when someone else's tracer took
+    over in the meantime — the uninstaller must not clobber it.
+    """
+    global _TRACER
+    if _TRACER is tracer:
+        _TRACER = None
+        return True
+    return False

@@ -12,7 +12,10 @@ service (stdlib HTTP only — nothing to install):
 * :mod:`~repro.service.server` — the ``ThreadingHTTPServer`` front end and
   its typed-error → HTTP-status mapping;
 * :mod:`~repro.service.client` — a keep-alive ``http.client`` JSON client
-  (what the ``repro`` CLI speaks).
+  (what the ``repro`` CLI speaks);
+* :mod:`~repro.service.telemetry` — request-scoped service telemetry: the
+  trace ring behind ``GET /server/trace``, the structured access log, and
+  the per-route histograms rendered by ``GET /metrics``.
 
 See the README's "Running as a service" section for the endpoint table and
 CLI walkthrough.
@@ -20,6 +23,7 @@ CLI walkthrough.
 
 from .client import ServiceAPIError, ServiceClient
 from .server import ReproServer, serve
+from .telemetry import AccessLog, ServiceTelemetry, TraceRing, new_trace_id
 from .sessions import (
     BadRequestError,
     CapacityError,
@@ -33,17 +37,21 @@ from .sessions import (
 )
 
 __all__ = [
+    "AccessLog",
     "BadRequestError",
     "CapacityError",
     "ReproServer",
     "ServiceAPIError",
     "ServiceClient",
     "ServiceError",
+    "ServiceTelemetry",
     "Session",
     "SessionClosedError",
     "SessionManager",
     "ShapeCache",
+    "TraceRing",
     "UnknownSessionError",
     "UnknownStructureError",
+    "new_trace_id",
     "serve",
 ]

@@ -10,6 +10,13 @@ Every non-2xx response raises :class:`ServiceAPIError` carrying the HTTP
 status and the server's typed error payload, so callers can distinguish a
 400 (their request) from a 503 (the chase substrate) without string
 matching.
+
+**Trace propagation.**  Set :attr:`ServiceClient.trace_id` (or pass
+``trace_id=`` per request) to send an ``X-Repro-Trace-Id`` header the
+server will stamp on every trace line the request emits; the server echoes
+the id (supplied or generated) back, and the client records it as
+:attr:`ServiceClient.last_trace_id` — so a caller can always ask
+``/server/trace`` for exactly the request it just made.
 """
 
 from __future__ import annotations
@@ -40,6 +47,10 @@ class ServiceClient:
         self.host = host
         self.port = port
         self.timeout = timeout
+        #: Sent as ``X-Repro-Trace-Id`` on every request when set.
+        self.trace_id: Optional[str] = None
+        #: The trace id the server echoed for the most recent request.
+        self.last_trace_id: Optional[str] = None
         self._conn: Optional[http.client.HTTPConnection] = None
 
     @classmethod
@@ -72,9 +83,20 @@ class ServiceClient:
     def __exit__(self, *exc_info) -> None:
         self.close()
 
-    def request(self, method: str, path: str, payload: Optional[dict] = None) -> dict:
+    def _raw(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        trace_id: Optional[str] = None,
+    ):
         body = None if payload is None else json.dumps(payload).encode("utf-8")
-        headers = {"Content-Type": "application/json"} if body else {}
+        headers: Dict[str, str] = {}
+        if body:
+            headers["Content-Type"] = "application/json"
+        wanted_trace = trace_id or self.trace_id
+        if wanted_trace:
+            headers["X-Repro-Trace-Id"] = wanted_trace
         for attempt in (1, 2):
             conn = self._connection()
             try:
@@ -88,15 +110,46 @@ class ServiceClient:
                 self.close()
                 if attempt == 2:
                     raise
+        echoed = response.getheader("X-Repro-Trace-Id")
+        if echoed:
+            self.last_trace_id = echoed
+        return response.status, raw
+
+    def request(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[dict] = None,
+        *,
+        trace_id: Optional[str] = None,
+    ) -> dict:
+        status, raw = self._raw(method, path, payload, trace_id)
         data = json.loads(raw) if raw else {}
-        if response.status >= 400:
+        if status >= 400:
             error = data.get("error", {}) if isinstance(data, dict) else {}
             raise ServiceAPIError(
-                response.status,
+                status,
                 error.get("message", raw.decode("utf-8", "replace")),
                 error.get("type", ""),
             )
         return data
+
+    def request_text(
+        self, method: str, path: str, *, trace_id: Optional[str] = None
+    ) -> str:
+        """A non-JSON endpoint (``/metrics`` exposition, trace JSONL)."""
+        status, raw = self._raw(method, path, None, trace_id)
+        text = raw.decode("utf-8", "replace")
+        if status >= 400:
+            message, error_type = text, ""
+            try:
+                error = json.loads(raw).get("error", {})
+                message = error.get("message", text)
+                error_type = error.get("type", "")
+            except (json.JSONDecodeError, AttributeError):
+                pass
+            raise ServiceAPIError(status, message, error_type)
+        return text
 
     # -- service surface ----------------------------------------------
     def health(self) -> dict:
@@ -104,6 +157,18 @@ class ServiceClient:
 
     def server_stats(self) -> dict:
         return self.request("GET", "/server/stats")
+
+    def metrics_text(self) -> str:
+        """The raw ``/metrics`` Prometheus exposition text."""
+        return self.request_text("GET", "/metrics")
+
+    def server_trace(self) -> str:
+        """The server's trace ring as JSONL text (newest ~ring lines)."""
+        return self.request_text("GET", "/server/trace")
+
+    def access_log(self) -> list:
+        """The server's in-memory access-log entries, oldest first."""
+        return self.request("GET", "/server/access-log")["entries"]
 
     def list_sessions(self) -> list:
         return self.request("GET", "/sessions")["sessions"]

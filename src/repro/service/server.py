@@ -6,10 +6,13 @@ client.  Handler threads do no chase work themselves beyond calling into
 :mod:`repro.service.sessions`, where the per-session lock batches
 concurrent requests for one session onto its keep-alive engine pools.
 
-Routes (all request/response bodies are JSON)::
+Routes (request/response bodies are JSON unless noted)::
 
     GET    /health
     GET    /server/stats
+    GET    /metrics                       Prometheus text exposition
+    GET    /server/trace                  trace ring as JSON lines
+    GET    /server/access-log             structured access-log entries
     GET    /sessions                      list sessions
     POST   /sessions                      {name?, max_atoms?, default_strategy?}
     GET    /sessions/<id>                 session detail (accounting + metrics)
@@ -34,6 +37,16 @@ failure (:class:`~repro.chase.chase.ChaseExecutionError` — the typed
 layer) → 503, since retrying against a healthy pool may well succeed.
 Everything else is a 500.  Error bodies are
 ``{"error": {"status", "type", "message"}}``.
+
+**Request-scoped telemetry.**  Every request carries a trace id — the
+inbound ``X-Repro-Trace-Id`` header when the caller supplies one, a fresh
+id otherwise — echoed back as a response header and stamped (thread-locally)
+on every trace line the request emits, so the ``service.request`` span and
+the engine spans nested under it form one connected tree per request in the
+server's trace ring.  Completion is recorded in the access log and the
+per-route/per-session latency histograms rendered by ``GET /metrics``.
+All of it observes and none of it steers: responses are bit-identical with
+telemetry on or off (``tests/test_service_telemetry.py`` pins this).
 """
 
 from __future__ import annotations
@@ -46,7 +59,12 @@ from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
 from typing import Callable, Dict, List, Optional, Tuple
 
 from ..chase.chase import ChaseBudgetExceeded, ChaseExecutionError
-from .sessions import ServiceError, SessionManager
+from ..obs.exposition import CONTENT_TYPE as EXPOSITION_CONTENT_TYPE
+from ..obs.exposition import Exposition
+from ..obs.metrics import CLOCK
+from ..obs.trace import NULL_SPAN, get_tracer
+from .sessions import BadRequestError, ServiceError, SessionManager
+from .telemetry import ServiceTelemetry, new_trace_id
 
 __all__ = ["ReproServer", "serve"]
 
@@ -68,6 +86,16 @@ def _status_for(exc: BaseException) -> int:
     return 500
 
 
+class _RawText:
+    """A non-JSON response body (exposition text, trace JSONL)."""
+
+    __slots__ = ("text", "content_type")
+
+    def __init__(self, text: str, content_type: str) -> None:
+        self.text = text
+        self.content_type = content_type
+
+
 class _Handler(BaseHTTPRequestHandler):
     protocol_version = "HTTP/1.1"
     server_version = "repro-service/1"
@@ -81,6 +109,9 @@ class _Handler(BaseHTTPRequestHandler):
     ROUTES: List[Tuple[str, "re.Pattern", str]] = [
         ("GET", re.compile(r"^/health$"), "health"),
         ("GET", re.compile(r"^/server/stats$"), "server_stats"),
+        ("GET", re.compile(r"^/metrics$"), "metrics"),
+        ("GET", re.compile(r"^/server/trace$"), "server_trace"),
+        ("GET", re.compile(r"^/server/access-log$"), "server_access_log"),
         ("GET", re.compile(r"^/sessions$"), "list_sessions"),
         ("POST", re.compile(r"^/sessions$"), "create_session"),
         ("GET", re.compile(rf"^/sessions/{_SESSION}$"), "show_session"),
@@ -130,43 +161,136 @@ class _Handler(BaseHTTPRequestHandler):
             raise ValueError("request body must be a JSON object")
         return payload
 
-    def _reply(self, status: int, payload: Dict[str, object]) -> None:
-        body = json.dumps(payload).encode("utf-8")
+    def _reply(
+        self, status: int, payload, trace_id: Optional[str] = None
+    ) -> int:
+        if isinstance(payload, _RawText):
+            body = payload.text.encode("utf-8")
+            content_type = payload.content_type
+        else:
+            body = json.dumps(payload).encode("utf-8")
+            content_type = "application/json"
         self.send_response(status)
-        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Type", content_type)
         self.send_header("Content-Length", str(len(body)))
+        if trace_id is not None:
+            self.send_header("X-Repro-Trace-Id", trace_id)
         self.end_headers()
         self.wfile.write(body)
+        return len(body)
 
     def _dispatch(self, method: str) -> None:
+        telemetry = self.server.repro_server.telemetry
         path = self.path.split("?", 1)[0]
+        started = CLOCK()
+        bytes_in = int(self.headers.get("Content-Length") or 0)
+        trace_id: Optional[str] = None
+        tracer = None
+        if telemetry.enabled:
+            trace_id = self.headers.get("X-Repro-Trace-Id") or new_trace_id()
+            tracer = get_tracer()
+
+        route: Optional[str] = None
+        handler_args: Dict[str, str] = {}
         for route_method, pattern, name in self.ROUTES:
             if route_method != method:
                 continue
             match = pattern.match(path)
-            if match is None:
-                continue
-            try:
-                status, payload = getattr(self, name)(**match.groupdict())
-            except Exception as exc:  # typed → HTTP status, see module doc
-                status = _status_for(exc)
-                payload = {
-                    "error": {
-                        "status": status,
-                        "type": type(exc).__name__,
-                        "message": str(exc),
-                    }
+            if match is not None:
+                route, handler_args = name, match.groupdict()
+                break
+
+        error_type: Optional[str] = None
+        if route is None:
+            status = 404
+            error_type = "NoRoute"
+            payload = {
+                "error": {
+                    "status": 404,
+                    "type": "NoRoute",
+                    "message": f"no route {method} {path}",
                 }
-                self.manager.count_request(error=True)
-            else:
-                self.manager.count_request()
-            self._reply(status, payload)
-            return
-        self.manager.count_request(error=True)
-        self._reply(
-            404,
-            {"error": {"status": 404, "type": "NoRoute", "message": f"no route {method} {path}"}},
-        )
+            }
+        else:
+            if tracer is not None:
+                # Thread-local stamp: every trace line this request emits —
+                # the service.request span and any engine spans nested under
+                # it — carries the request's trace id.
+                tracer.set_trace_id(trace_id)
+            span = (
+                tracer.span(
+                    "service.request", method=method, route=route, path=path
+                )
+                if tracer is not None
+                else NULL_SPAN
+            )
+            try:
+                with span:
+                    try:
+                        status, payload = getattr(self, route)(**handler_args)
+                    except Exception as exc:  # typed → HTTP, see module doc
+                        status = _status_for(exc)
+                        error_type = type(exc).__name__
+                        payload = {
+                            "error": {
+                                "status": status,
+                                "type": error_type,
+                                "message": str(exc),
+                            }
+                        }
+                        span.note(status=status, error=error_type)
+                    else:
+                        span.note(status=status)
+            finally:
+                if tracer is not None:
+                    tracer.set_trace_id(None)
+        self.manager.count_request(error=error_type is not None)
+        bytes_out = self._reply(status, payload, trace_id=trace_id)
+
+        if telemetry.enabled:
+            route_label = route or "<no-route>"
+            elapsed = CLOCK() - started
+            session_id = handler_args.get("session")
+            atoms: Optional[int] = None
+            faults: Optional[Dict[str, int]] = None
+            degraded = False
+            if isinstance(payload, dict):
+                atoms_value = payload.get("atoms")
+                if isinstance(atoms_value, int):
+                    atoms = atoms_value
+                stats = payload.get("stats")
+                if isinstance(stats, dict):
+                    raw_faults = stats.get("faults") or {}
+                    if any(raw_faults.values()):
+                        faults = {
+                            kind: count
+                            for kind, count in sorted(raw_faults.items())
+                            if count
+                        }
+                    if raw_faults.get("degraded"):
+                        degraded = True
+            telemetry.observe_request(
+                route=route_label,
+                status=status,
+                seconds=elapsed,
+                bytes_in=bytes_in,
+                bytes_out=bytes_out,
+                trace_id=trace_id,
+                method=method,
+                path=path,
+                wall_time=time.time(),
+                session=session_id,
+                error=error_type,
+                atoms=atoms,
+                faults=faults,
+                degraded=degraded,
+            )
+            if session_id:
+                histogram = telemetry.session_histogram(
+                    session_id, self.manager
+                )
+                if histogram is not None:
+                    histogram.observe(elapsed)
 
     def do_GET(self) -> None:
         self._dispatch("GET")
@@ -183,6 +307,23 @@ class _Handler(BaseHTTPRequestHandler):
 
     def server_stats(self) -> Tuple[int, Dict[str, object]]:
         return 200, self.manager.accounting()
+
+    def metrics(self) -> Tuple[int, object]:
+        return 200, _RawText(
+            self.server.repro_server.render_metrics(), EXPOSITION_CONTENT_TYPE
+        )
+
+    def server_trace(self) -> Tuple[int, object]:
+        ring = self.server.repro_server.telemetry.trace_ring
+        if ring is None:
+            raise BadRequestError(
+                "trace ring disabled (telemetry off or --trace-ring 0)"
+            )
+        return 200, _RawText(ring.text(), "application/x-ndjson")
+
+    def server_access_log(self) -> Tuple[int, Dict[str, object]]:
+        telemetry = self.server.repro_server.telemetry
+        return 200, {"entries": telemetry.access_log.entries()}
 
     def list_sessions(self) -> Tuple[int, Dict[str, object]]:
         return 200, {"sessions": self.manager.list_sessions()}
@@ -299,12 +440,24 @@ class ReproServer:
         default_strategy: str = "auto",
         sweep_interval: float = 1.0,
         quiet: bool = True,
+        telemetry: bool = True,
+        trace_ring: int = 20_000,
+        access_log: Optional[str] = None,
+        access_log_capacity: int = 4096,
+        slow_request_seconds: float = 1.0,
     ) -> None:
         self.manager = SessionManager(
             max_sessions=max_sessions,
             idle_ttl=idle_ttl,
             session_max_atoms=session_max_atoms,
             default_strategy=default_strategy,
+        )
+        self.telemetry = ServiceTelemetry(
+            enabled=telemetry,
+            trace_ring=trace_ring,
+            access_log_path=access_log,
+            access_log_capacity=access_log_capacity,
+            slow_request_seconds=slow_request_seconds,
         )
         self.quiet = quiet
         self._sweep_interval = sweep_interval
@@ -338,8 +491,42 @@ class ReproServer:
             )
             self._sweeper.start()
 
+    def render_metrics(self) -> str:
+        """The full ``GET /metrics`` exposition text: server + every session."""
+        exposition = Exposition()
+        self.telemetry.render(exposition)
+        accounting = self.manager.accounting()
+        exposition.add(
+            "sessions_used", "gauge", accounting["sessions"]["used"]
+        )
+        exposition.add(
+            "sessions_total", "gauge", accounting["sessions"]["total"]
+        )
+        exposition.add("peak_rss_kb", "gauge", accounting["peak_rss_kb"])
+        exposition.add(
+            "uptime_seconds", "gauge", accounting["uptime_seconds"]
+        )
+        shapes = accounting["shape_cache"]
+        exposition.add(
+            "shape_cache_hits_total", "counter", shapes["hits"]
+        )
+        exposition.add(
+            "shape_cache_misses_total", "counter", shapes["misses"]
+        )
+        exposition.add(
+            "shape_cache_entries", "gauge", shapes["entries"]
+        )
+        for session in self.manager.sessions():
+            exposition.add_registry(
+                session.metrics,
+                labels={"session": session.id, "name": session.name},
+                namespace="session_",
+            )
+        return exposition.render()
+
     def start(self) -> "ReproServer":
         """Serve in a background thread; returns self once the port is live."""
+        self.telemetry.install()
         self._start_sweeper()
         self._serving = True
         self._thread = threading.Thread(
@@ -353,6 +540,7 @@ class ReproServer:
 
     def serve_forever(self) -> None:
         """Serve on the calling thread (the CLI's ``repro serve``)."""
+        self.telemetry.install()
         self._start_sweeper()
         self._serving = True
         try:
@@ -375,6 +563,7 @@ class ReproServer:
         if self._sweeper is not None:
             self._sweeper.join(timeout=5)
         self.manager.close()
+        self.telemetry.close()
 
     def __enter__(self) -> "ReproServer":
         return self.start()

@@ -34,7 +34,8 @@ import threading
 import time
 import uuid
 from collections import OrderedDict
-from typing import Dict, List, Optional, Sequence, Tuple
+from contextlib import contextmanager
+from typing import Dict, Iterator, List, Optional, Sequence, Tuple
 
 from ..chase.tgd import TGD, parse_tgds
 from ..core.builders import parse_cq, parse_facts
@@ -44,8 +45,9 @@ from ..core.structure import Structure
 from ..engine import SemiNaiveChaseEngine, ResilienceConfig
 from ..engine.strategies import resolve_strategy
 from ..greenred.determinacy import check_unrestricted_determinacy
-from ..obs.metrics import MetricsRegistry
+from ..obs.metrics import CLOCK, MetricsRegistry, peak_rss_kb
 from ..obs.report import explain as explain_plan
+from ..obs.trace import get_tracer
 from ..query.context import EvalContext
 from ..query.evaluator import evaluate
 
@@ -206,6 +208,34 @@ class Session:
         self.lock = threading.RLock()
 
     # -- bookkeeping ---------------------------------------------------
+    @contextmanager
+    def _locked(self) -> Iterator[None]:
+        """The session lock, with queue-wait telemetry around the acquire.
+
+        Concurrent requests for one session queue here (that is the design
+        — it batches them onto the keep-alive pools), so the wait *is* the
+        session's queue delay.  It lands in the session registry's
+        ``service.lock.wait_seconds`` histogram and, when tracing is
+        active, as a ``service.lock.wait`` instant event under the
+        request's ``service.request`` span.  Observation only — the lock
+        semantics are untouched.
+        """
+        waited_from = CLOCK()
+        self.lock.acquire()
+        waited = CLOCK() - waited_from
+        try:
+            self.metrics.histogram("service.lock.wait_seconds").observe(waited)
+            tracer = get_tracer()
+            if tracer is not None:
+                tracer.event(
+                    "service.lock.wait",
+                    session=self.id,
+                    seconds=round(waited, 9),
+                )
+            yield
+        finally:
+            self.lock.release()
+
     def touch(self) -> None:
         with self.lock:
             self.last_used = self._clock()
@@ -227,6 +257,27 @@ class Session:
             "used": used,
             "available": max(0, self.max_atoms - used),
         }
+
+    def engine_pool(self) -> Dict[str, int]:
+        """Keep-alive pool accounting: live engines plus lifetime counters.
+
+        The built/reused/evicted counters always existed in the session
+        registry; this surfaces them for ``/server/stats`` so pool reuse is
+        visible without pulling each session's verbose detail.
+        """
+        with self.lock:
+            counters = self.metrics.counters
+
+            def value(name: str) -> int:
+                instrument = counters.get(name)
+                return int(instrument.value) if instrument is not None else 0
+
+            return {
+                "engines": len(self._engines),
+                "built": value("service.engines.built"),
+                "reused": value("service.engines.reused"),
+                "evicted": value("service.engines.evicted"),
+            }
 
     def describe(self, *, verbose: bool = False) -> Dict[str, object]:
         with self.lock:
@@ -275,7 +326,7 @@ class Session:
 
     def load_structure(self, name: str, facts_text: str, extend: bool = False) -> Dict[str, object]:
         """Create (or ``extend=True`` grow) the named structure from fact text."""
-        with self.lock:
+        with self._locked():
             self._check_open()
             atoms = parse_facts(facts_text)
             if extend:
@@ -299,7 +350,7 @@ class Session:
 
     def structure_facts(self, name: str) -> Dict[str, object]:
         """The structure's facts, canonically ordered (bit-identity probes)."""
-        with self.lock:
+        with self._locked():
             self._check_open()
             structure = self._structure(name)
             return {
@@ -309,7 +360,7 @@ class Session:
             }
 
     def drop_structure(self, name: str) -> Dict[str, object]:
-        with self.lock:
+        with self._locked():
             self._check_open()
             structure = self._structure(name)
             self.context.forget(structure)
@@ -371,7 +422,7 @@ class Session:
         """
         if not rules:
             raise BadRequestError("chase requires at least one rule")
-        with self.lock:
+        with self._locked():
             self._check_open()
             source = self._structure(structure)
             tgds = self.shapes.rules(tuple(rules))
@@ -413,7 +464,7 @@ class Session:
             }
 
     def query(self, structure: str, query_text: str) -> Dict[str, object]:
-        with self.lock:
+        with self._locked():
             self._check_open()
             target = self._structure(structure)
             cq = self.shapes.query(query_text)
@@ -433,7 +484,7 @@ class Session:
     def explain(
         self, structure: str, query_text: str, strategy: Optional[str] = None
     ) -> Dict[str, object]:
-        with self.lock:
+        with self._locked():
             self._check_open()
             target = self._structure(structure)
             cq = self.shapes.query(query_text)
@@ -442,7 +493,7 @@ class Session:
             return {"structure": structure, "query": cq.name, "explain": text}
 
     def containment(self, contained: str, container: str) -> Dict[str, object]:
-        with self.lock:
+        with self._locked():
             self._check_open()
             q1 = self.shapes.query(contained)
             q2 = self.shapes.query(container)
@@ -471,7 +522,7 @@ class Session:
     ) -> Dict[str, object]:
         if not views:
             raise BadRequestError("determinacy requires at least one view")
-        with self.lock:
+        with self._locked():
             self._check_open()
             parsed_views = [self.shapes.query(v) for v in views]
             query = self.shapes.query(query_text)
@@ -565,6 +616,21 @@ class SessionManager:
             raise UnknownSessionError(f"no session {session_id!r}")
         return session
 
+    def peek(self, session_id: str) -> Optional[Session]:
+        """The live session with that id, or ``None`` — never raises, never
+        touches; the telemetry path uses it so recording a latency sample
+        can't fail a request whose session was deleted mid-flight."""
+        with self._lock:
+            session = self._sessions.get(session_id)
+        if session is None or session.closed:
+            return None
+        return session
+
+    def sessions(self) -> List[Session]:
+        """A snapshot list of live sessions (the /metrics renderer's view)."""
+        with self._lock:
+            return list(self._sessions.values())
+
     def delete(self, session_id: str) -> Dict[str, object]:
         with self._lock:
             session = self._sessions.pop(session_id, None)
@@ -606,12 +672,12 @@ class SessionManager:
 
     def accounting(self) -> Dict[str, object]:
         with self._lock:
-            live = len(self._sessions)
-            return {
+            live = list(self._sessions.values())
+            payload: Dict[str, object] = {
                 "sessions": {
                     "total": self.max_sessions,
-                    "used": live,
-                    "available": max(0, self.max_sessions - live),
+                    "used": len(live),
+                    "available": max(0, self.max_sessions - len(live)),
                 },
                 "created_total": self.created_total,
                 "evicted_total": self.evicted_total,
@@ -621,6 +687,20 @@ class SessionManager:
                 "idle_ttl": self.idle_ttl,
                 "shape_cache": self.shapes.stats(),
             }
+        # Per-session detail is gathered outside the manager lock (each
+        # entry takes its session's lock) to keep lock order one-way.
+        payload["peak_rss_kb"] = peak_rss_kb()
+        payload["sessions_detail"] = [
+            {
+                "id": session.id,
+                "name": session.name,
+                "requests": session.requests,
+                "atoms": session.accounting(),
+                "engine_pool": session.engine_pool(),
+            }
+            for session in live
+        ]
+        return payload
 
     def count_request(self, error: bool = False) -> None:
         with self._lock:

@@ -1,0 +1,371 @@
+"""Request-scoped service telemetry: trace ring, access log, histograms.
+
+Everything here follows the observability layer's discipline —
+**observe, never steer**: the server consults none of it when handling a
+request, so a service run with telemetry on is bit-identical to one with it
+off (pinned by ``tests/test_service_telemetry.py``).  Three artifacts per
+server:
+
+* :class:`TraceRing` — a bounded in-memory ring of JSON-lines trace output.
+  The server mounts a :class:`~repro.obs.trace.Tracer` over it (unless an
+  application tracer is already active), so every ``service.request`` span
+  and every engine span under it lands here, stamped with the request's
+  trace id.  ``GET /server/trace`` downloads the ring verbatim — the text is
+  directly consumable by ``python -m repro.obs summarize - --trace-id X``.
+* :class:`AccessLog` — one structured JSON entry per completed request
+  (trace id, session, route, status, latency, atoms touched, fault/degrade
+  flags, a ``slow`` flag past the configured threshold), kept in a bounded
+  ring and optionally appended line-by-line to a file.
+* :class:`ServiceTelemetry` — the aggregate: per-route latency histograms,
+  payload-size histograms, route/status request counters and the
+  ``server.errors`` counter, all rendered into the ``GET /metrics``
+  Prometheus exposition next to each session's registry.
+
+The per-request ledgers reconcile by construction: for any route, the
+access-log entry count equals ``repro_request_seconds_count{route=…}``
+equals the number of ``service.request`` span pairs for that route in the
+ring (modulo ring eviction) — the three-ledger test and the CI smoke assert
+exactly that.
+"""
+
+from __future__ import annotations
+
+import itertools
+import json
+import threading
+import uuid
+from collections import deque
+from typing import Dict, List, Optional, Tuple
+
+from ..obs.exposition import Exposition
+from ..obs.metrics import CLOCK, Histogram, LATENCY_BUCKETS, SIZE_BUCKETS
+from ..obs.trace import (
+    Tracer,
+    get_tracer,
+    install_tracer,
+    render_line,
+    uninstall_tracer,
+)
+
+__all__ = ["AccessLog", "ServiceTelemetry", "TraceRing", "new_trace_id"]
+
+#: Random per-process prefix + consecutive suffix: ids stay globally unique
+#: (the prefix) without paying a uuid4 per request on the hot path.
+_ID_PREFIX = uuid.uuid4().hex[:8]
+_ID_SUFFIX = itertools.count(1)
+
+
+def new_trace_id() -> str:
+    """A fresh request trace id (16 hex chars, collision-safe per server)."""
+    return f"{_ID_PREFIX}{next(_ID_SUFFIX):08x}"
+
+
+class TraceRing:
+    """A bounded, thread-safe ring of trace records, serialized on read.
+
+    The ring's tracer (:class:`_RingTracer`) defers JSON serialization:
+    each emitted line is kept as the raw ``render_line`` argument tuple and
+    only rendered when the ring is downloaded — the request hot path pays a
+    tuple append, not a ``json`` encode.  Keeps the newest *capacity*
+    records and counts evictions so a downloaded ring says whether it is
+    complete.
+    """
+
+    def __init__(self, capacity: int = 20_000) -> None:
+        self.capacity = capacity
+        self.dropped = 0
+        self._records: "deque[tuple]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+
+    def push(self, record: tuple) -> None:
+        with self._lock:
+            if len(self._records) == self.capacity:
+                self.dropped += 1
+            self._records.append(record)
+
+    def __len__(self) -> int:
+        with self._lock:
+            return len(self._records)
+
+    def text(self) -> str:
+        """The ring as one JSONL text (rendered now, newest-first order kept)."""
+        with self._lock:
+            records = list(self._records)
+        return "".join(render_line(*record) + "\n" for record in records)
+
+
+class _RingTracer(Tracer):
+    """A tracer that sinks raw records into a :class:`TraceRing`.
+
+    Identical wire output to a plain :class:`~repro.obs.trace.Tracer`
+    (both go through :func:`~repro.obs.trace.render_line`), but the
+    serialization happens at download time instead of on the request path.
+    """
+
+    __slots__ = ("_ring",)
+
+    def __init__(self, ring: TraceRing) -> None:
+        super().__init__(ring.push)  # unused: _emit is fully overridden
+        self._ring = ring
+
+    def _emit(
+        self,
+        kind: str,
+        name: str,
+        now: float,
+        attrs: dict,
+        span_id: Optional[int] = None,
+        parent_id: Optional[int] = None,
+        duration: Optional[float] = None,
+    ) -> None:
+        if parent_id is None:
+            stack = self._stack
+            parent_id = stack[-1] if stack else 0
+        self._ring.push((
+            kind, name, now, attrs, span_id, parent_id, duration,
+            getattr(self._local, "trace_id", None),
+        ))
+
+
+#: Access-log record tuple layout (see :func:`_render_entry`).
+_ENTRY_FIELDS = (
+    "t", "trace", "method", "route", "path", "status", "seconds",
+    "bytes_in", "bytes_out", "session", "error", "atoms", "faults",
+    "degraded", "slow",
+)
+
+
+def _render_entry(fields: tuple) -> Dict[str, object]:
+    """One access-log record tuple → the wire/report dict."""
+    (t, trace, method, route, path, status, seconds, bytes_in, bytes_out,
+     session, error, atoms, faults, degraded, slow) = fields
+    entry: Dict[str, object] = {
+        "t": round(t, 3),
+        "trace": trace,
+        "method": method,
+        "route": route,
+        "path": path,
+        "status": status,
+        "seconds": round(seconds, 6),
+        "bytes_in": bytes_in,
+        "bytes_out": bytes_out,
+    }
+    if session:
+        entry["session"] = session
+    if error is not None:
+        entry["error"] = error
+    if atoms is not None:
+        entry["atoms"] = atoms
+    if faults:
+        entry["faults"] = faults
+    if degraded:
+        entry["degraded"] = True
+    if slow:
+        entry["slow"] = True
+    return entry
+
+
+class AccessLog:
+    """A bounded ring of per-request records, optionally mirrored to a file.
+
+    Records are stored as raw tuples and rendered to dicts only when read
+    (``GET /server/access-log``, ``entries()``) — the request path pays one
+    GIL-atomic deque append.  With a file sink configured, each record is
+    additionally rendered and appended line-buffered at request time, so a
+    crashed server still leaves complete JSON lines behind.
+    """
+
+    def __init__(self, capacity: int = 4096, path: Optional[str] = None) -> None:
+        self.capacity = capacity
+        self._records: "deque[tuple]" = deque(maxlen=capacity)
+        self._lock = threading.Lock()
+        self._file = (
+            open(path, "a", encoding="utf-8", buffering=1) if path else None
+        )
+
+    def record(self, fields: tuple) -> None:
+        self._records.append(fields)
+        if self._file is not None:
+            line = json.dumps(_render_entry(fields)) + "\n"
+            with self._lock:
+                if self._file is not None:
+                    self._file.write(line)
+
+    def entries(self) -> List[Dict[str, object]]:
+        return [_render_entry(fields) for fields in list(self._records)]
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def close(self) -> None:
+        with self._lock:
+            if self._file is not None:
+                self._file.close()
+                self._file = None
+
+
+class ServiceTelemetry:
+    """Server-wide request telemetry: histograms, counters, ring, log.
+
+    ``enabled=False`` is the hard off switch: every observation method
+    returns immediately, no tracer is mounted, and the request path pays a
+    single attribute read — the configuration the telemetry-overhead
+    benchmark compares against.
+    """
+
+    def __init__(
+        self,
+        *,
+        enabled: bool = True,
+        trace_ring: int = 20_000,
+        access_log_path: Optional[str] = None,
+        access_log_capacity: int = 4096,
+        slow_request_seconds: float = 1.0,
+    ) -> None:
+        self.enabled = enabled
+        self.slow_request_seconds = slow_request_seconds
+        self.trace_ring: Optional[TraceRing] = None
+        self.tracer: Optional[Tracer] = None
+        self._installed = False
+        if enabled and trace_ring > 0:
+            self.trace_ring = TraceRing(trace_ring)
+            self.tracer = _RingTracer(self.trace_ring)
+        self.access_log = AccessLog(access_log_capacity, access_log_path)
+        self._lock = threading.Lock()
+        # Route-labelled instruments, exposed as {route=…} label sets.
+        self._latency: Dict[str, Histogram] = {}
+        self._requests: Dict[Tuple[str, int], int] = {}
+        self._bytes_in = Histogram(SIZE_BUCKETS)
+        self._bytes_out = Histogram(SIZE_BUCKETS)
+        # Cache of each session's request-latency histogram handle, so the
+        # request tail skips the manager and registry locks after the first
+        # request to a session (dict reads are GIL-atomic).
+        self._session_latency: Dict[str, Histogram] = {}
+        self.errors = 0
+        self.slow_requests = 0
+
+    # -- tracer lifecycle ----------------------------------------------
+    def install(self) -> None:
+        """Mount the ring tracer globally iff no tracer is already active.
+
+        An application/test tracer always wins — the service adds its ring
+        only when tracing is otherwise off, and :meth:`uninstall` removes
+        only its own.
+        """
+        if self.tracer is not None and not self._installed:
+            if get_tracer() is None:
+                install_tracer(self.tracer)
+                self._installed = True
+
+    def uninstall(self) -> None:
+        if self._installed and self.tracer is not None:
+            uninstall_tracer(self.tracer)
+            self._installed = False
+
+    def close(self) -> None:
+        self.uninstall()
+        self.access_log.close()
+
+    # -- per-request recording -----------------------------------------
+    def route_histogram(self, route: str) -> Histogram:
+        with self._lock:
+            histogram = self._latency.get(route)
+            if histogram is None:
+                histogram = self._latency[route] = Histogram(LATENCY_BUCKETS)
+            return histogram
+
+    def session_histogram(self, session_id: str, manager) -> Optional[Histogram]:
+        """The session's ``service.request.seconds`` histogram, cached.
+
+        Returns ``None`` for unknown sessions; the cached handle outlives
+        session deletion harmlessly (the orphaned histogram is simply no
+        longer exposed).
+        """
+        histogram = self._session_latency.get(session_id)
+        if histogram is None:
+            session = manager.peek(session_id)
+            if session is None:
+                return None
+            histogram = session.metrics.histogram("service.request.seconds")
+            self._session_latency[session_id] = histogram
+        return histogram
+
+    def observe_request(
+        self,
+        *,
+        route: str,
+        status: int,
+        seconds: float,
+        bytes_in: int,
+        bytes_out: int,
+        trace_id: Optional[str],
+        method: str,
+        path: str,
+        wall_time: float,
+        session: Optional[str] = None,
+        error: Optional[str] = None,
+        atoms: Optional[int] = None,
+        faults: Optional[Dict[str, int]] = None,
+        degraded: bool = False,
+    ) -> None:
+        """Fold one completed request into every ledger (no-op when off)."""
+        if not self.enabled:
+            return
+        histogram = self._latency.get(route)
+        if histogram is None:
+            histogram = self.route_histogram(route)
+        histogram.observe(seconds)
+        self._bytes_in.observe(bytes_in)
+        self._bytes_out.observe(bytes_out)
+        slow = seconds >= self.slow_request_seconds
+        with self._lock:
+            key = (route, status)
+            self._requests[key] = self._requests.get(key, 0) + 1
+            if status >= 500:
+                self.errors += 1
+            if slow:
+                self.slow_requests += 1
+        self.access_log.record((
+            wall_time, trace_id, method, route, path, status, seconds,
+            bytes_in, bytes_out, session, error, atoms, faults, degraded,
+            slow,
+        ))
+
+    # -- exposition ----------------------------------------------------
+    def render(self, exposition: Exposition) -> None:
+        """Add the server-wide series to *exposition* (consistent cut)."""
+        with self._lock:
+            requests = dict(self._requests)
+            latency = dict(self._latency)
+            errors = self.errors
+            slow = self.slow_requests
+        for (route, status), count in sorted(requests.items()):
+            exposition.add(
+                "requests_total", "counter", count,
+                {"route": route, "status": str(status)},
+            )
+        exposition.add("server_errors_total", "counter", errors)
+        exposition.add("slow_requests_total", "counter", slow)
+        for route, histogram in sorted(latency.items()):
+            exposition.add_histogram(
+                "request_seconds", histogram, {"route": route}
+            )
+        exposition.add_histogram("request_bytes_in", self._bytes_in)
+        exposition.add_histogram("request_bytes_out", self._bytes_out)
+        if self.trace_ring is not None:
+            exposition.add(
+                "trace_ring_lines", "gauge", len(self.trace_ring)
+            )
+            exposition.add(
+                "trace_ring_dropped_total", "counter", self.trace_ring.dropped
+            )
+        exposition.add("access_log_entries", "gauge", len(self.access_log))
+
+    # -- summaries (``repro top``, /server/stats) ----------------------
+    def request_counts(self) -> Dict[str, int]:
+        """Total completed requests per route (all statuses)."""
+        with self._lock:
+            totals: Dict[str, int] = {}
+            for (route, _status), count in self._requests.items():
+                totals[route] = totals.get(route, 0) + count
+            return totals

@@ -128,6 +128,95 @@ def test_registry_instruments_accumulate_and_snapshot():
 
 
 # ----------------------------------------------------------------------
+# Histogram: buckets, quantiles, thread safety
+# ----------------------------------------------------------------------
+def test_log_buckets_are_geometric_and_validated():
+    assert obs.log_buckets(1.0, 8.0, 2.0) == (1.0, 2.0, 4.0, 8.0)
+    assert obs.LATENCY_BUCKETS[0] == pytest.approx(1e-6)
+    assert obs.LATENCY_BUCKETS[-1] <= 70.0
+    with pytest.raises(ValueError):
+        obs.log_buckets(0.0, 8.0)
+    with pytest.raises(ValueError):
+        obs.log_buckets(1.0, 8.0, factor=1.0)
+    with pytest.raises(ValueError):
+        obs.Histogram((3.0, 1.0))
+
+
+def test_histogram_le_buckets_quantiles_and_snapshot():
+    histogram = obs.Histogram((1.0, 10.0, 100.0))
+    for value in (0.5, 1.0, 5.0, 50.0, 500.0):
+        histogram.observe(value)
+    # le semantics: a value equal to a bound lands in that bound's bucket;
+    # values past the last bound go to the +Inf overflow bucket.
+    assert histogram.buckets() == (
+        (1.0, 2), (10.0, 3), (100.0, 4), (float("inf"), 5),
+    )
+    assert histogram.count == 5 and histogram.sum == pytest.approx(556.5)
+    # Prometheus-style estimate: upper bound of the first bucket reaching
+    # the rank; the +Inf bucket reports the last finite bound.
+    assert histogram.quantile(0.5) == 10.0
+    assert histogram.quantile(0.99) == 100.0
+    snap = histogram.snapshot()
+    assert snap["count"] == 5 and snap["p50"] == 10.0
+    # Empty histograms answer 0 everywhere.
+    assert obs.Histogram((1.0,)).quantile(0.5) == 0.0
+    assert obs.quantile_from_cumulative((), 0.5) == 0.0
+
+
+def test_histogram_thread_hammer_and_snapshot_monotonicity():
+    import threading as _threading
+
+    histogram = obs.Histogram((0.25, 0.5, 1.0))
+    threads_n, per_thread = 8, 2_000
+    seen_counts = []
+
+    def hammer(seed):
+        for i in range(per_thread):
+            histogram.observe(((seed * per_thread + i) % 7) * 0.2)
+            if i % 500 == 0:
+                buckets = histogram.buckets()
+                # A consistent cut: cumulative counts never decrease across
+                # buckets and the overflow total equals the running count.
+                assert all(
+                    buckets[j][1] <= buckets[j + 1][1]
+                    for j in range(len(buckets) - 1)
+                )
+                seen_counts.append(buckets[-1][1])
+
+    workers = [
+        _threading.Thread(target=hammer, args=(seed,))
+        for seed in range(threads_n)
+    ]
+    for worker in workers:
+        worker.start()
+    for worker in workers:
+        worker.join()
+    assert histogram.count == threads_n * per_thread
+    assert histogram.buckets()[-1][1] == threads_n * per_thread
+    assert histogram.sum == pytest.approx(
+        sum(((s * per_thread + i) % 7) * 0.2
+            for s in range(threads_n) for i in range(per_thread))
+    )
+
+
+def test_registry_and_module_histogram_handles():
+    assert obs.histogram("lat") is obs.NULL_HISTOGRAM
+    obs.NULL_HISTOGRAM.observe(3.0)
+    assert obs.NULL_HISTOGRAM.count == 0
+    assert obs.NULL_HISTOGRAM.buckets() == ()
+    assert obs.NULL_HISTOGRAM.quantile(0.5) == 0.0
+    registry = obs.enable(MetricsRegistry())
+    handle = obs.histogram("lat", bounds=(1.0, 2.0))
+    assert handle is registry.histogram("lat")
+    handle.observe(1.5)
+    snap = obs.snapshot()
+    assert snap["lat"]["count"] == 1
+    registry.reset()
+    assert registry.histograms == {}
+    obs.disable()
+
+
+# ----------------------------------------------------------------------
 # Tracer: deterministic ids, nesting, wire schema
 # ----------------------------------------------------------------------
 def test_span_tree_ids_nesting_and_end_attributes():
@@ -237,6 +326,41 @@ def test_cli_summarize_emits_text_and_json(tmp_path, capsys):
     payload = json.loads(capsys.readouterr().out)
     assert payload["fired"] == 2 and payload["stages"] == 1
     assert payload["spans"]["chase.stage"]["count"] == 1
+
+
+def test_cli_summarize_reads_stdin_and_filters_by_trace_id(
+    monkeypatch, capsys
+):
+    lines = []
+    tracer = Tracer(lines.append, clock=FakeClock())
+    tracer.set_trace_id("req-a")
+    with tracer.span("service.request"):
+        tracer.event("query.plan.miss")
+    tracer.set_trace_id("req-b")
+    with tracer.span("service.request"):
+        with tracer.span("chase.run"):
+            pass
+    tracer.set_trace_id(None)
+    tracer.event("index.rebuild")  # unstamped line
+
+    import io
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("".join(lines)))
+    assert obs_cli(["summarize", "-", "--trace-id", "req-b", "--json"]) == 0
+    payload = json.loads(capsys.readouterr().out)
+    # All lines are read (and counted), but only req-b's tree is folded in.
+    assert payload["lines"] == len(lines)
+    assert payload["spans"] == {
+        "chase.run": {"count": 1, "seconds": pytest.approx(1.0)},
+        "service.request": {"count": 1, "seconds": pytest.approx(3.0)},
+    }
+    assert payload["events"] == {}
+
+    monkeypatch.setattr("sys.stdin", io.StringIO("".join(lines)))
+    assert obs_cli(["summarize", "-", "--json"]) == 0
+    unfiltered = json.loads(capsys.readouterr().out)
+    assert unfiltered["spans"]["service.request"]["count"] == 2
+    assert unfiltered["events"] == {"query.plan.miss": 1, "index.rebuild": 1}
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,355 @@
+"""Request-scoped service telemetry (ISSUE 10).
+
+What this module pins, in the order the tentpole states it:
+
+* **trace propagation** — a client-supplied ``X-Repro-Trace-Id`` (or a
+  server-generated one) is echoed back, stamped on every trace line the
+  request emits, and the resulting per-request span tree is *connected*:
+  engine spans (``chase.run`` and below) parent under the request's
+  ``service.request`` span;
+* **three-ledger reconciliation** — for any route, the access-log entries,
+  the ``/metrics`` histogram counts and the span pairs in the trace ring
+  agree exactly, and for one sampled request the three records describe the
+  same event (same trace id, same status, durations that nest);
+* **observe-never-steer** — the same workload against a telemetry-on and a
+  telemetry-off server returns bit-identical structures and answers;
+* the satellites: exposition parses, typed 500 bodies + the
+  ``server_errors`` counter, ``/server/stats`` surfacing engine-pool reuse
+  and ``peak_rss_kb``, the queue-wait histogram, the access-log file sink,
+  and ``repro top --once``.
+"""
+
+import json
+
+import pytest
+
+from repro.cli import main as repro_cli
+from repro.obs.exposition import (
+    Exposition,
+    parse_exposition,
+    sample_value,
+)
+from repro.obs.metrics import Histogram, MetricsRegistry
+from repro.obs.report import summarize_trace
+from repro.obs.trace import get_tracer
+from repro.service import ReproServer, ServiceAPIError, ServiceClient
+
+RULE = "R(x,y) -> S(y,w)"
+QUERY = "q(x,y) :- R(x,z), S(z,y)"
+FACTS = "R(a,b), R(b,c)"
+
+
+@pytest.fixture()
+def server():
+    with ReproServer(port=0, max_sessions=8) as srv:
+        yield srv
+
+
+@pytest.fixture()
+def client(server):
+    with ServiceClient(*server.address) as c:
+        yield c
+
+
+def _workload(client):
+    sid = client.create_session("t")["id"]
+    client.load(sid, "db", FACTS)
+    client.chase(sid, "db", [RULE])
+    client.query(sid, "db::chased", QUERY)
+    return sid
+
+
+# ----------------------------------------------------------------------
+# Trace propagation
+# ----------------------------------------------------------------------
+def test_client_supplied_trace_id_spans_the_whole_request(server, client):
+    sid = client.create_session("t")["id"]
+    client.load(sid, "db", FACTS)
+    client.trace_id = "cafe0123cafe0123"
+    client.chase(sid, "db", [RULE])
+    assert client.last_trace_id == "cafe0123cafe0123"
+    client.trace_id = None
+
+    lines = [
+        json.loads(line)
+        for line in client.server_trace().splitlines()
+        if json.loads(line).get("trace") == "cafe0123cafe0123"
+    ]
+    names = [line["name"] for line in lines]
+    # One connected tree: the service.request span brackets everything.
+    assert names[0] == "service.request" and names[-1] == "service.request"
+    begin, end = lines[0], lines[-1]
+    assert begin["type"] == "B" and end["type"] == "E"
+    assert begin["id"] == end["id"] and begin["in"] == 0
+    assert begin["route"] == "chase" and end["status"] == 200
+    # The engine's spans parent under the request span — same thread, same
+    # tracer, so the stack connects them without any explicit plumbing.
+    chase_runs = [l for l in lines if l["name"] == "chase.run"]
+    assert chase_runs and chase_runs[0]["in"] == begin["id"]
+    assert "service.lock.wait" in names
+    # Every line of the tree carries the request's trace id (filtering on
+    # the id reconstructed the tree in the first place), and the
+    # summarizer's --trace-id path folds exactly this tree.
+    summary = summarize_trace(
+        client.server_trace().splitlines(), trace_id="cafe0123cafe0123"
+    )
+    assert summary.spans["service.request"][0] == 1
+    assert summary.spans["chase.run"][0] == 1
+
+
+def test_generated_trace_ids_are_echoed_and_distinct(server, client):
+    sid = _workload(client)
+    first = client.last_trace_id
+    client.query(sid, "db::chased", QUERY)
+    second = client.last_trace_id
+    assert first and second and first != second
+    trace_ids = {
+        json.loads(line).get("trace")
+        for line in client.server_trace().splitlines()
+    }
+    assert first in trace_ids and second in trace_ids
+    # Every request got its own id: the access log knows them all.
+    logged = [entry["trace"] for entry in client.access_log()]
+    assert len(set(logged)) == len(logged)
+
+
+# ----------------------------------------------------------------------
+# Three-ledger reconciliation
+# ----------------------------------------------------------------------
+def test_access_log_metrics_and_span_tree_reconcile(server, client):
+    sid = client.create_session("t")["id"]
+    client.load(sid, "db", FACTS)
+    for _ in range(3):
+        client.chase(sid, "db", [RULE])
+    for _ in range(2):
+        client.query(sid, "db::chased", QUERY)
+
+    entries = client.access_log()
+    samples = parse_exposition(client.metrics_text())
+    spans = [json.loads(line) for line in client.server_trace().splitlines()]
+
+    for route, expected in (("chase", 3), ("query", 2), ("load_structure", 1)):
+        logged = [e for e in entries if e["route"] == route]
+        assert len(logged) == expected
+        assert sample_value(
+            samples, "repro_request_seconds_count", {"route": route}
+        ) == expected
+        status = "201" if route == "load_structure" else "200"
+        assert sample_value(
+            samples, "repro_requests_total", {"route": route, "status": status}
+        ) == expected
+        begins = [
+            s for s in spans
+            if s["name"] == "service.request" and s["type"] == "B"
+            and s.get("route") == route
+        ]
+        ends = [
+            s for s in spans
+            if s["name"] == "service.request" and s["type"] == "E"
+            and s.get("trace") in {b["trace"] for b in begins}
+        ]
+        assert len(begins) == len(ends) == expected
+
+    # One sampled request, all three records: same trace id, same status,
+    # and the span duration fits inside the access-log latency (the access
+    # log clock starts before the span and stops after it).
+    sampled = [e for e in entries if e["route"] == "chase"][-1]
+    end_line = next(
+        s for s in spans
+        if s.get("trace") == sampled["trace"]
+        and s["name"] == "service.request" and s["type"] == "E"
+    )
+    assert end_line["status"] == sampled["status"] == 200
+    assert 0.0 <= end_line["dur"] <= sampled["seconds"]
+    assert sampled["atoms"] == 4  # R(a,b) R(b,c) + two S atoms
+    # Session metrics round-trip: the chase counter in /metrics equals the
+    # access log's chase count for that session.
+    assert sample_value(
+        samples, "repro_session_service_chase_runs_total", {"session": sid}
+    ) == 3
+
+
+def test_metrics_requests_exclude_nothing_including_scrapes(server, client):
+    _workload(client)
+    client.metrics_text()
+    samples = parse_exposition(client.metrics_text())
+    # The second scrape sees the first: the scrape route meters itself.
+    assert sample_value(
+        samples, "repro_request_seconds_count", {"route": "metrics"}
+    ) >= 1
+
+
+# ----------------------------------------------------------------------
+# Bit-identity: telemetry on vs off
+# ----------------------------------------------------------------------
+def test_service_results_bit_identical_with_telemetry_off(server):
+    def run(srv):
+        with ServiceClient(*srv.address) as c:
+            sid = c.create_session("bit")["id"]
+            c.load(sid, "db", FACTS)
+            chased = c.chase(sid, "db", [RULE])
+            facts = c.structure(sid, "db::chased")["facts"]
+            answers = c.query(sid, "db::chased", QUERY)["answers"]
+            return chased["atoms"], chased["stages_run"], facts, answers
+
+    with ReproServer(port=0, telemetry=False) as untraced:
+        assert untraced.telemetry.enabled is False
+        assert untraced.telemetry.trace_ring is None
+        baseline = run(untraced)
+        with ServiceClient(*untraced.address) as c:
+            with pytest.raises(ServiceAPIError) as err:
+                c.server_trace()
+            assert err.value.status == 400
+            assert c.access_log() == []
+    assert run(server) == baseline
+    assert len(server.telemetry.trace_ring) > 0
+
+
+# ----------------------------------------------------------------------
+# Satellites
+# ----------------------------------------------------------------------
+def test_exposition_renders_and_parses_round_trip():
+    registry = MetricsRegistry()
+    registry.counter("service.chase.runs").inc(3)
+    registry.gauge("depth").set(7)
+    registry.timer("service.chase.wall").add(1.25)
+    registry.histogram("lat", bounds=(0.1, 1.0)).observe(0.5)
+    exposition = Exposition()
+    exposition.add_registry(
+        registry, labels={"session": "abc", "name": 'we"ird\nname'},
+        namespace="session_",
+    )
+    text = exposition.render()
+    assert "# TYPE repro_session_service_chase_runs_total counter" in text
+    samples = parse_exposition(text)
+    assert sample_value(
+        samples, "repro_session_service_chase_runs_total", {"session": "abc"}
+    ) == 3
+    assert sample_value(samples, "repro_session_depth", {"session": "abc"}) == 7
+    assert sample_value(
+        samples, "repro_session_service_chase_wall_seconds_total",
+        {"session": "abc"},
+    ) == pytest.approx(1.25)
+    # Histogram: cumulative le buckets, +Inf equals _count, label escaping
+    # survives the round trip.
+    inf_bucket = [
+        s for s in samples
+        if s.name == "repro_session_lat_bucket" and s.labels["le"] == "+Inf"
+    ]
+    assert len(inf_bucket) == 1 and inf_bucket[0].value == 1
+    assert inf_bucket[0].labels["name"] == 'we"ird\nname'
+    assert sample_value(samples, "repro_session_lat_count") == 1
+    with pytest.raises(ValueError):
+        parse_exposition("this is { not exposition")
+
+
+def test_unhandled_handler_exception_is_typed_500_and_counted(
+    server, client, monkeypatch
+):
+    def boom(self):
+        raise RuntimeError("wedged")
+
+    monkeypatch.setattr("repro.service.server._Handler.health", boom)
+    with pytest.raises(ServiceAPIError) as err:
+        client.health()
+    assert err.value.status == 500
+    assert err.value.error_type == "RuntimeError"
+    assert "wedged" in err.value.message
+    monkeypatch.undo()
+
+    samples = parse_exposition(client.metrics_text())
+    assert sample_value(samples, "repro_server_errors_total") == 1
+    assert sample_value(
+        samples, "repro_requests_total", {"route": "health", "status": "500"}
+    ) == 1
+    entry = next(e for e in client.access_log() if e["route"] == "health")
+    assert entry["status"] == 500 and entry["error"] == "RuntimeError"
+    # The span tree records the failure too, error=-attributed.
+    end = next(
+        line for line in map(json.loads, client.server_trace().splitlines())
+        if line["name"] == "service.request" and line["type"] == "E"
+        and line.get("error") == "RuntimeError"
+    )
+    assert end["status"] == 500
+    # 4xx is the caller's fault, not a server error: counter stays put.
+    with pytest.raises(ServiceAPIError):
+        client.request("GET", "/sessions/000000000000")
+    samples = parse_exposition(client.metrics_text())
+    assert sample_value(samples, "repro_server_errors_total") == 1
+
+
+def test_server_stats_surfaces_pool_reuse_and_rss(server, client):
+    sid = client.create_session("t")["id"]
+    client.load(sid, "db", FACTS)
+    client.chase(sid, "db", [RULE])
+    client.chase(sid, "db", [RULE])
+    stats = client.server_stats()
+    assert stats["peak_rss_kb"] > 0
+    detail = next(d for d in stats["sessions_detail"] if d["id"] == sid)
+    assert detail["engine_pool"] == {
+        "engines": 1, "built": 1, "reused": 1, "evicted": 0,
+    }
+    assert detail["atoms"]["used"] > 0
+    assert stats["shape_cache"]["hits"] >= 1  # second chase reused the rules
+
+
+def test_lock_wait_histogram_and_session_latency_recorded(server, client):
+    sid = _workload(client)
+    samples = parse_exposition(client.metrics_text())
+    waits = sample_value(
+        samples, "repro_session_service_lock_wait_seconds_count",
+        {"session": sid},
+    )
+    assert waits >= 3  # load + chase + query each crossed _locked()
+    assert sample_value(
+        samples, "repro_session_service_request_seconds_count",
+        {"session": sid},
+    ) >= 3
+
+
+def test_access_log_file_sink_writes_json_lines(tmp_path):
+    log_path = str(tmp_path / "access.log")
+    with ReproServer(port=0, access_log=log_path, slow_request_seconds=0.0) as srv:
+        with ServiceClient(*srv.address) as client:
+            _workload(client)
+    lines = [
+        json.loads(line)
+        for line in open(log_path, encoding="utf-8").read().splitlines()
+    ]
+    assert len(lines) == 4
+    assert {line["route"] for line in lines} == {
+        "create_session", "load_structure", "chase", "query",
+    }
+    # Threshold 0.0: every request is flagged slow.
+    assert all(line["slow"] is True for line in lines)
+
+
+def test_server_tracer_respects_preinstalled_tracer(tmp_path):
+    import repro.obs as obs
+
+    lines = []
+    mine = obs.enable_tracing(lines.append)
+    try:
+        with ReproServer(port=0) as srv:
+            assert get_tracer() is mine  # the server declined to install
+            with ServiceClient(*srv.address) as client:
+                _workload(client)
+            assert len(srv.telemetry.trace_ring) == 0
+            assert any(
+                json.loads(line)["name"] == "service.request"
+                for line in lines
+            )
+        assert get_tracer() is mine  # close() didn't clobber it either
+    finally:
+        obs.disable_tracing()
+
+
+def test_repro_top_once_renders_sessions_and_routes(server, client, capsys):
+    _workload(client)
+    host, port = server.address
+    assert repro_cli(["--url", f"http://{host}:{port}", "top", "--once"]) == 0
+    out = capsys.readouterr().out
+    assert "repro top" in out
+    assert "chase" in out and "query" in out
+    assert "p50" in out and "p99" in out
+    assert "pool reuse/built" in out
